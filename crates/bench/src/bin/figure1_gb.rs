@@ -1,0 +1,51 @@
+//! Experiment F1-GB: Figure 1's graph `G_B` and the Theorem 9 worst-case
+//! lower bound for stretch < 2.
+//!
+//! For each layer size `k`, scrambles the top layer, builds a stretch-1
+//! scheme, extracts the permutation from every bottom node's routing
+//! function, and prints the `⌈log k!⌉` floor next to the measured sizes.
+//!
+//! Regenerate with: `cargo run --release -p ort-bench --bin figure1_gb`
+
+use ort_bench::{fit_exponent, fmt_bits, mean, rule};
+use ort_routing::lower_bounds::theorem9;
+use ort_routing::schemes::full_table::FullTableScheme;
+
+fn main() {
+    println!("== Figure 1 / Theorem 9: the G_B worst case ==\n");
+    println!("  top     t_0 … t_(k-1)   degree-1 nodes, adversarially labelled");
+    println!("  middle  m_0 … m_(k-1)   m_i — t_i, and m_i — every bottom node");
+    println!("  bottom  b_0 … b_(k-1)   the nodes whose tables must store σ\n");
+
+    let ks = [16usize, 32, 64, 128];
+    println!(
+        "{:<8} {:<8} {:>16} {:>18} {:>18} {:>12}",
+        "k", "n=3k", "⌈log₂ k!⌉", "total floor k·⌈log k!⌉", "paper (n²/9)log n", "avg |F(b)|"
+    );
+    rule(92);
+    let mut floors = Vec::new();
+    for &k in &ks {
+        let report = theorem9::run(k, 42, |g| FullTableScheme::build(g).expect("connected"))
+            .expect("extraction must succeed for stretch < 2");
+        let n = 3 * k;
+        let paper = (n * n) as f64 / 9.0 * (n as f64).log2();
+        let avg_f = mean(&report.bottom_f_bits.iter().map(|&b| b as f64).collect::<Vec<_>>());
+        floors.push(report.total_floor() as f64);
+        println!(
+            "{:<8} {:<8} {:>16} {:>18} {:>18.0} {:>12.0}",
+            k,
+            n,
+            fmt_bits(report.permutation_bits),
+            fmt_bits(report.total_floor()),
+            paper,
+            avg_f
+        );
+    }
+    let xs: Vec<f64> = ks.iter().map(|&k| k as f64).collect();
+    println!(
+        "\ntotal-floor growth: k^{:.2} (paper: k² log k ⇒ exponent slightly above 2)",
+        fit_exponent(&xs, &floors)
+    );
+    println!("extraction verified: every bottom node's routing function reproduced σ exactly,");
+    println!("for every k — the constructive core of the Ω(n² log n) worst-case bound.");
+}

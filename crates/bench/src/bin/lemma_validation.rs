@@ -1,0 +1,69 @@
+//! Experiment LEMMAS: statistical validation of Lemmas 1–3 on the
+//! `G(n, 1/2)` workload, plus the compressor-suite randomness-deficiency
+//! estimates that justify treating the samples as Kolmogorov random.
+//!
+//! Regenerate with: `cargo run --release -p ort-bench --bin lemma_validation`
+
+use ort_bench::{rule, sweep_sizes};
+use ort_graphs::generators;
+use ort_graphs::random_props::{
+    check_degree_concentration, check_dominating_prefix, has_diameter_two,
+};
+use ort_kolmogorov::deficiency::CompressorSuite;
+
+fn main() {
+    let sizes = sweep_sizes();
+    let seeds = 5u64;
+    let suite = CompressorSuite::standard();
+    println!("== Lemmas 1–3 on G(n, 1/2) ({seeds} seeds per size) ==\n");
+    println!(
+        "{:<8} {:>10} {:>12} {:>10} {:>12} {:>12} {:>12}",
+        "n", "L1 holds", "max dev", "L2 holds", "L3 holds", "max prefix", "deficiency"
+    );
+    rule(82);
+    for &n in &sizes {
+        let mut l1 = 0u64;
+        let mut l2 = 0u64;
+        let mut l3 = 0u64;
+        let mut max_dev: f64 = 0.0;
+        let mut max_prefix = 0usize;
+        let mut max_def = i64::MIN;
+        for seed in 0..seeds {
+            let g = generators::gnp_half(n, seed);
+            let d = check_degree_concentration(&g, 3.0, 1.0);
+            l1 += u64::from(d.holds);
+            max_dev = max_dev.max(d.max_deviation);
+            l2 += u64::from(has_diameter_two(&g));
+            let c = check_dominating_prefix(&g, 3.0);
+            l3 += u64::from(c.holds);
+            if let Some(p) = c.max_prefix {
+                max_prefix = max_prefix.max(p);
+            }
+            max_def = max_def.max(suite.graph_deficiency(&g));
+        }
+        println!(
+            "{:<8} {:>8}/{seeds} {:>12.1} {:>8}/{seeds} {:>10}/{seeds} {:>12} {:>12}",
+            n, l1, max_dev, l2, l3, max_prefix, max_def
+        );
+    }
+    rule(82);
+    println!("\ncontrol group (structure must fail the lemmas / compress massively):");
+    for (g, name) in [
+        (generators::path(256), "path(256)"),
+        (generators::star(256), "star(256)"),
+        (generators::gb_graph(85), "G_B(k=85)"),
+        (generators::complete(256), "K_256"),
+    ] {
+        let d = check_degree_concentration(&g, 3.0, 1.0);
+        let def = suite.graph_deficiency(&g);
+        println!(
+            "  {:<12} L1={} L2={} deficiency={}",
+            name,
+            d.holds,
+            has_diameter_two(&g),
+            def
+        );
+    }
+    println!("\npaper: Lemmas 1–3 hold for all (3 log n)-random graphs, a 1−1/n³ fraction;");
+    println!("the deficiency column shows our samples are (near-)incompressible, the controls not.");
+}

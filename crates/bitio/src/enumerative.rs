@@ -1,0 +1,360 @@
+//! Enumerative (combinatorial-number-system) coding of `k`-subsets.
+//!
+//! Lemma 1 of the paper compresses a node's interconnection pattern by
+//! replacing its `n−1` adjacency bits with "the index of the interconnection
+//! pattern in the ensemble of `m` possibilities" — i.e. the rank of the
+//! pattern among all patterns with the same number of ones. This module
+//! implements exactly that: a bijection between `k`-subsets of `{0..n-1}`
+//! and ranks `0..C(n,k)`, coded in `⌈log₂ C(n,k)⌉` bits.
+//!
+//! The ordering is lexicographic over characteristic bit strings with `0 < 1`
+//! at each position. Arithmetic is exact ([`Nat`]), with binomials updated
+//! incrementally so no Pascal triangle is materialized.
+//!
+//! # Example
+//!
+//! ```
+//! use ort_bitio::{BitWriter, BitReader, enumerative};
+//!
+//! # fn main() -> Result<(), ort_bitio::CodeError> {
+//! let n = 10;
+//! let subset = vec![1, 4, 5, 9];
+//! let mut w = BitWriter::new();
+//! enumerative::encode_subset(&mut w, n, &subset)?;
+//! assert_eq!(w.len(), enumerative::subset_code_width(n, subset.len()));
+//!
+//! let bits = w.finish();
+//! let mut r = BitReader::new(&bits);
+//! assert_eq!(enumerative::decode_subset(&mut r, n, 4)?, subset);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{BitReader, BitWriter, CodeError, Nat};
+
+/// Computes the binomial coefficient `C(n, k)` exactly.
+///
+/// Uses the multiplicative formula with exact intermediate divisions
+/// (`C(n,k) · (n−k+i) / i` stays integral when evaluated in order).
+#[must_use]
+pub fn binomial(n: u64, k: u64) -> Nat {
+    if k > n {
+        return Nat::zero();
+    }
+    let k = k.min(n - k);
+    let mut acc = Nat::one();
+    for i in 1..=k {
+        acc = acc.mul_small(n - k + i);
+        let (q, r) = acc.divmod_small(i);
+        debug_assert_eq!(r, 0, "binomial intermediate not integral");
+        acc = q;
+    }
+    acc
+}
+
+/// Number of bits used by [`encode_subset`] for a `k`-subset of `{0..n-1}`:
+/// `⌈log₂ C(n,k)⌉`.
+#[must_use]
+pub fn subset_code_width(n: usize, k: usize) -> usize {
+    let count = binomial(n as u64, k as u64);
+    if count <= Nat::one() {
+        0
+    } else {
+        count.sub(&Nat::one()).bit_len()
+    }
+}
+
+/// Computes the lexicographic rank of the characteristic string of
+/// `elements` (sorted, distinct, all `< n`).
+///
+/// # Errors
+///
+/// Returns [`CodeError::InvalidInput`] if `elements` is not strictly
+/// increasing or contains a value `≥ n`.
+pub fn subset_rank(n: usize, elements: &[usize]) -> Result<Nat, CodeError> {
+    validate_subset(n, elements)?;
+    let k = elements.len();
+    let mut rank = Nat::zero();
+    // Invariant: `remaining` = C(m, j) where m = positions left *after* the
+    // current one and j = ones still to place.
+    let mut j = k as u64;
+    let mut m = (n as u64).saturating_sub(1);
+    let mut remaining = binomial(m, j);
+    let mut elem_iter = elements.iter().peekable();
+    for pos in 0..n {
+        if j == 0 {
+            break;
+        }
+        let here = elem_iter.peek() == Some(&&pos);
+        if here {
+            // All strings with 0 at `pos` (C(m, j) of them) precede us.
+            rank.add_assign(&remaining);
+            elem_iter.next();
+            // C(m, j-1) = C(m, j) * j / (m - j + 1)
+            if j <= m {
+                remaining = remaining.mul_small(j);
+                let (q, r) = remaining.divmod_small(m - j + 1);
+                debug_assert_eq!(r, 0);
+                remaining = q;
+            } else {
+                // j == m + 1 can't happen for a valid subset; j == m means
+                // C(m, j) was 1 and C(m, j-1) = m.
+                remaining = Nat::from(m);
+            }
+            j -= 1;
+        }
+        if m > 0 {
+            // C(m-1, j) = C(m, j) * (m - j) / m
+            remaining = remaining.mul_small(m - j);
+            let (q, r) = remaining.divmod_small(m);
+            debug_assert_eq!(r, 0);
+            remaining = q;
+            m -= 1;
+        }
+    }
+    Ok(rank)
+}
+
+/// Inverse of [`subset_rank`].
+///
+/// # Errors
+///
+/// Returns [`CodeError::InvalidInput`] if `rank ≥ C(n,k)`.
+pub fn subset_unrank(n: usize, k: usize, rank: &Nat) -> Result<Vec<usize>, CodeError> {
+    let total = binomial(n as u64, k as u64);
+    if *rank >= total {
+        return Err(CodeError::InvalidInput { reason: "subset rank out of range" });
+    }
+    let mut rank = rank.clone();
+    let mut out = Vec::with_capacity(k);
+    let mut j = k as u64;
+    let mut m = (n as u64).saturating_sub(1);
+    let mut remaining = binomial(m, j);
+    for pos in 0..n {
+        if j == 0 {
+            break;
+        }
+        let take_one = rank >= remaining || m < j;
+        if take_one {
+            rank.sub_assign(&remaining);
+            out.push(pos);
+            if j <= m {
+                remaining = remaining.mul_small(j);
+                let (q, r) = remaining.divmod_small(m - j + 1);
+                debug_assert_eq!(r, 0);
+                remaining = q;
+            } else {
+                remaining = Nat::from(m);
+            }
+            j -= 1;
+        }
+        if m > 0 {
+            remaining = remaining.mul_small(m - j);
+            let (q, r) = remaining.divmod_small(m);
+            debug_assert_eq!(r, 0);
+            remaining = q;
+            m -= 1;
+        }
+    }
+    debug_assert!(rank.is_zero());
+    Ok(out)
+}
+
+/// Encodes a sorted subset of `{0..n-1}` in exactly
+/// [`subset_code_width`]`(n, elements.len())` bits.
+///
+/// The subset size `k` is *not* encoded; the decoder must know it (in the
+/// paper's codecs it is transmitted separately as a `log n`-bit degree
+/// field).
+///
+/// # Errors
+///
+/// Returns [`CodeError::InvalidInput`] for an invalid subset.
+pub fn encode_subset(w: &mut BitWriter, n: usize, elements: &[usize]) -> Result<(), CodeError> {
+    let rank = subset_rank(n, elements)?;
+    let width = subset_code_width(n, elements.len());
+    rank.write_bits(w, width)
+}
+
+/// Decodes a `k`-subset of `{0..n-1}` written by [`encode_subset`].
+///
+/// # Errors
+///
+/// Returns decoding errors on truncated input or an out-of-range rank.
+pub fn decode_subset(r: &mut BitReader<'_>, n: usize, k: usize) -> Result<Vec<usize>, CodeError> {
+    let width = subset_code_width(n, k);
+    let rank = Nat::read_bits(r, width)?;
+    subset_unrank(n, k, &rank)
+}
+
+fn validate_subset(n: usize, elements: &[usize]) -> Result<(), CodeError> {
+    for pair in elements.windows(2) {
+        if pair[0] >= pair[1] {
+            return Err(CodeError::InvalidInput { reason: "subset not strictly increasing" });
+        }
+    }
+    if let Some(&last) = elements.last() {
+        if last >= n {
+            return Err(CodeError::InvalidInput { reason: "subset element out of range" });
+        }
+    }
+    if elements.len() > n {
+        return Err(CodeError::InvalidInput { reason: "subset larger than ground set" });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_small_table() {
+        let expect = [
+            (0u64, 0u64, 1u64),
+            (5, 0, 1),
+            (5, 5, 1),
+            (5, 2, 10),
+            (10, 3, 120),
+            (20, 10, 184_756),
+            (5, 6, 0),
+        ];
+        for (n, k, v) in expect {
+            assert_eq!(binomial(n, k), Nat::from(v), "C({n},{k})");
+        }
+    }
+
+    #[test]
+    fn binomial_large_bit_length() {
+        // C(200, 100) ≈ 9.05e58 → 196 bits.
+        assert_eq!(binomial(200, 100).bit_len(), 196);
+        // C(2048, 1024) should have ~2040 bits (n - O(log n)).
+        let b = binomial(2048, 1024).bit_len();
+        assert!((2030..=2048).contains(&b), "got {b}");
+    }
+
+    #[test]
+    fn rank_enumerates_lexicographically() {
+        // All 2-subsets of {0,1,2,3} in lex order of characteristic strings
+        // (0 < 1 at each position): 0011 < 0101 < 0110 < 1001 < 1010 < 1100,
+        // i.e. {2,3},{1,3},{1,2},{0,3},{0,2},{0,1}.
+        let order = [
+            vec![2usize, 3],
+            vec![1, 3],
+            vec![1, 2],
+            vec![0, 3],
+            vec![0, 2],
+            vec![0, 1],
+        ];
+        for (i, s) in order.iter().enumerate() {
+            assert_eq!(subset_rank(4, s).unwrap(), Nat::from(i as u64), "{s:?}");
+            assert_eq!(subset_unrank(4, 2, &Nat::from(i as u64)).unwrap(), *s);
+        }
+    }
+
+    #[test]
+    fn rank_unrank_roundtrip_exhaustive_small() {
+        for n in 0..=8usize {
+            for k in 0..=n {
+                let total = binomial(n as u64, k as u64).to_u64().unwrap();
+                let mut seen = std::collections::HashSet::new();
+                // Enumerate all k-subsets and verify bijection.
+                let mut subset: Vec<usize> = (0..k).collect();
+                loop {
+                    let rank = subset_rank(n, &subset).unwrap();
+                    let r = rank.to_u64().unwrap();
+                    assert!(r < total);
+                    assert!(seen.insert(r), "duplicate rank {r}");
+                    assert_eq!(subset_unrank(n, k, &rank).unwrap(), subset);
+                    // Next k-subset in lex order of element lists.
+                    let mut i = k;
+                    loop {
+                        if i == 0 {
+                            break;
+                        }
+                        i -= 1;
+                        if subset[i] != i + n - k {
+                            subset[i] += 1;
+                            for j in i + 1..k {
+                                subset[j] = subset[j - 1] + 1;
+                            }
+                            break;
+                        }
+                        if i == 0 {
+                            i = usize::MAX;
+                            break;
+                        }
+                    }
+                    if i == usize::MAX || k == 0 {
+                        break;
+                    }
+                }
+                assert_eq!(seen.len() as u64, total, "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn encode_decode_uses_exact_width() {
+        let n = 64;
+        let subset: Vec<usize> = (0..n).filter(|i| i % 3 == 0).collect();
+        let mut w = BitWriter::new();
+        encode_subset(&mut w, n, &subset).unwrap();
+        assert_eq!(w.len(), subset_code_width(n, subset.len()));
+        let bits = w.finish();
+        let mut r = BitReader::new(&bits);
+        assert_eq!(decode_subset(&mut r, n, subset.len()).unwrap(), subset);
+        assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn extreme_subsets() {
+        for n in [0usize, 1, 5, 33] {
+            // Empty subset.
+            let mut w = BitWriter::new();
+            encode_subset(&mut w, n, &[]).unwrap();
+            assert_eq!(w.len(), 0);
+            // Full subset.
+            let full: Vec<usize> = (0..n).collect();
+            let mut w = BitWriter::new();
+            encode_subset(&mut w, n, &full).unwrap();
+            assert_eq!(w.len(), 0, "C(n,n)=1 needs zero bits");
+            let bits = w.finish();
+            let mut r = BitReader::new(&bits);
+            assert_eq!(decode_subset(&mut r, n, n).unwrap(), full);
+        }
+    }
+
+    #[test]
+    fn large_subset_roundtrip() {
+        // n = 1024, a pseudo-random half-density subset.
+        let n = 1024usize;
+        let subset: Vec<usize> = (0..n).filter(|&i| (i * 2_654_435_761usize) % 97 < 48).collect();
+        let mut w = BitWriter::new();
+        encode_subset(&mut w, n, &subset).unwrap();
+        let width = w.len();
+        // Near-half-density subsets need close to n - O(log n) bits.
+        assert!(width < n, "enumerative code beats raw bitmap: {width} < {n}");
+        assert!(width > n - 6 * 10, "width {width} suspiciously small");
+        let bits = w.finish();
+        let mut r = BitReader::new(&bits);
+        assert_eq!(decode_subset(&mut r, n, subset.len()).unwrap(), subset);
+    }
+
+    #[test]
+    fn sparse_subset_is_compact() {
+        // A 5-subset of 1024: C(1024,5) ≈ 2^46, so ~46 bits vs 1024 raw.
+        let n = 1024usize;
+        let subset = [3usize, 99, 500, 717, 1000];
+        let width = subset_code_width(n, subset.len());
+        assert!((40..=50).contains(&width), "width {width}");
+    }
+
+    #[test]
+    fn invalid_subsets_rejected() {
+        assert!(subset_rank(5, &[1, 1]).is_err());
+        assert!(subset_rank(5, &[3, 2]).is_err());
+        assert!(subset_rank(5, &[5]).is_err());
+        assert!(subset_unrank(4, 2, &Nat::from(6u64)).is_err());
+    }
+}

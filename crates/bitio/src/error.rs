@@ -1,0 +1,76 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by bit-level encoding and decoding.
+///
+/// All decoders in this workspace are *strict*: any malformed input is
+/// reported rather than silently truncated, because the incompressibility
+/// arguments rely on codes being uniquely decodable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodeError {
+    /// The reader ran out of bits in the middle of a code word.
+    UnexpectedEnd {
+        /// Bit position at which the read was attempted.
+        position: usize,
+    },
+    /// A value does not fit the requested fixed width (encoder side),
+    /// or a decoded value overflowed the target integer type.
+    Overflow {
+        /// Human-readable description of what overflowed.
+        what: &'static str,
+    },
+    /// The bit stream is not a valid code word for the expected code.
+    InvalidCode {
+        /// Which code rejected the input.
+        code: &'static str,
+        /// Why the input was rejected.
+        reason: &'static str,
+    },
+    /// An argument to an encoder was outside the encodable domain
+    /// (for example Elias γ of zero, or a subset element out of range).
+    InvalidInput {
+        /// Why the input was rejected.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for CodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodeError::UnexpectedEnd { position } => {
+                write!(f, "unexpected end of bit stream at position {position}")
+            }
+            CodeError::Overflow { what } => write!(f, "value overflow: {what}"),
+            CodeError::InvalidCode { code, reason } => {
+                write!(f, "invalid {code} code word: {reason}")
+            }
+            CodeError::InvalidInput { reason } => write!(f, "invalid encoder input: {reason}"),
+        }
+    }
+}
+
+impl Error for CodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CodeError::UnexpectedEnd { position: 42 };
+        assert!(e.to_string().contains("42"));
+        let e = CodeError::Overflow { what: "u64 fixed read" };
+        assert!(e.to_string().contains("u64 fixed read"));
+        let e = CodeError::InvalidCode { code: "elias-gamma", reason: "zero length" };
+        assert!(e.to_string().contains("elias-gamma"));
+        let e = CodeError::InvalidInput { reason: "gamma(0)" };
+        assert!(e.to_string().contains("gamma(0)"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CodeError>();
+    }
+}

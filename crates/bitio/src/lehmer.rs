@@ -1,0 +1,268 @@
+//! Permutation ranking via Lehmer codes.
+//!
+//! Theorem 8 (fixed adversarial port assignments) and Theorem 9 (the `G_B`
+//! worst-case graph) both argue that a routing function must *contain* a
+//! permutation: of a node's `n/2` neighbours across its ports, or of the
+//! top-layer labels of `G_B`. A Kolmogorov-random permutation of `k` items
+//! costs `log k! = k log k − O(k)` bits, and this module provides the exact
+//! bijection between permutations and `0..k!` used to measure that.
+//!
+//! # Example
+//!
+//! ```
+//! use ort_bitio::lehmer;
+//!
+//! # fn main() -> Result<(), ort_bitio::CodeError> {
+//! let perm = vec![2usize, 0, 3, 1];
+//! let rank = lehmer::permutation_rank(&perm)?;
+//! assert_eq!(lehmer::permutation_unrank(4, &rank)?, perm);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{BitReader, BitWriter, CodeError, Nat};
+
+/// Computes `n!` exactly.
+#[must_use]
+pub fn factorial(n: u64) -> Nat {
+    let mut f = Nat::one();
+    for k in 2..=n {
+        f = f.mul_small(k);
+    }
+    f
+}
+
+/// Number of bits used by [`encode_permutation`] for a permutation of `n`
+/// items: `⌈log₂ n!⌉`.
+#[must_use]
+pub fn permutation_code_width(n: usize) -> usize {
+    let count = factorial(n as u64);
+    if count <= Nat::one() {
+        0
+    } else {
+        count.sub(&Nat::one()).bit_len()
+    }
+}
+
+/// Checks that `perm` is a permutation of `0..perm.len()`.
+///
+/// # Errors
+///
+/// Returns [`CodeError::InvalidInput`] otherwise.
+pub fn validate_permutation(perm: &[usize]) -> Result<(), CodeError> {
+    let n = perm.len();
+    let mut seen = vec![false; n];
+    for &p in perm {
+        if p >= n || seen[p] {
+            return Err(CodeError::InvalidInput { reason: "not a permutation of 0..n" });
+        }
+        seen[p] = true;
+    }
+    Ok(())
+}
+
+/// Computes the Lehmer code of `perm`: `code[i]` is the number of later
+/// entries smaller than `perm[i]`.
+///
+/// # Errors
+///
+/// Returns [`CodeError::InvalidInput`] if `perm` is not a permutation.
+pub fn lehmer_code(perm: &[usize]) -> Result<Vec<usize>, CodeError> {
+    validate_permutation(perm)?;
+    let n = perm.len();
+    let mut code = vec![0usize; n];
+    for i in 0..n {
+        code[i] = perm[i + 1..].iter().filter(|&&x| x < perm[i]).count();
+    }
+    Ok(code)
+}
+
+/// Rebuilds a permutation from its Lehmer code.
+///
+/// # Errors
+///
+/// Returns [`CodeError::InvalidInput`] if any digit `code[i] ≥ n − i`.
+pub fn from_lehmer_code(code: &[usize]) -> Result<Vec<usize>, CodeError> {
+    let n = code.len();
+    let mut pool: Vec<usize> = (0..n).collect();
+    let mut perm = Vec::with_capacity(n);
+    for (i, &c) in code.iter().enumerate() {
+        if c >= pool.len() {
+            return Err(CodeError::InvalidInput { reason: "Lehmer digit out of range" });
+        }
+        let _ = i;
+        perm.push(pool.remove(c));
+    }
+    Ok(perm)
+}
+
+/// Computes the lexicographic rank of `perm` in `0..n!` via the factorial
+/// number system.
+///
+/// # Errors
+///
+/// Returns [`CodeError::InvalidInput`] if `perm` is not a permutation.
+pub fn permutation_rank(perm: &[usize]) -> Result<Nat, CodeError> {
+    let code = lehmer_code(perm)?;
+    let n = code.len();
+    let mut rank = Nat::zero();
+    for (i, &c) in code.iter().enumerate() {
+        // rank = rank * (n - i) + c  — Horner evaluation of the factorial
+        // number system, avoiding a table of factorials.
+        rank = rank.mul_small((n - i) as u64);
+        rank.add_assign(&Nat::from(c as u64));
+    }
+    Ok(rank)
+}
+
+/// Inverse of [`permutation_rank`].
+///
+/// # Errors
+///
+/// Returns [`CodeError::InvalidInput`] if `rank ≥ n!`.
+pub fn permutation_unrank(n: usize, rank: &Nat) -> Result<Vec<usize>, CodeError> {
+    if *rank >= factorial(n as u64) {
+        return Err(CodeError::InvalidInput { reason: "permutation rank out of range" });
+    }
+    // Peel factorial digits from the least significant end.
+    let mut digits = vec![0usize; n];
+    let mut cur = rank.clone();
+    for i in (0..n).rev() {
+        let base = (n - i) as u64;
+        let (q, r) = cur.divmod_small(base);
+        digits[i] = r as usize;
+        cur = q;
+    }
+    from_lehmer_code(&digits)
+}
+
+/// Encodes a permutation of `0..n` in exactly
+/// [`permutation_code_width`]`(n)` bits (its rank, MSB first).
+///
+/// # Errors
+///
+/// Returns [`CodeError::InvalidInput`] if `perm` is not a permutation.
+pub fn encode_permutation(w: &mut BitWriter, perm: &[usize]) -> Result<(), CodeError> {
+    let rank = permutation_rank(perm)?;
+    rank.write_bits(w, permutation_code_width(perm.len()))
+}
+
+/// Decodes a permutation written by [`encode_permutation`]. The length `n`
+/// must be known to the decoder.
+///
+/// # Errors
+///
+/// Returns decoding errors on truncated input or an out-of-range rank.
+pub fn decode_permutation(r: &mut BitReader<'_>, n: usize) -> Result<Vec<usize>, CodeError> {
+    let rank = Nat::read_bits(r, permutation_code_width(n))?;
+    permutation_unrank(n, &rank)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorial_values() {
+        assert_eq!(factorial(0), Nat::one());
+        assert_eq!(factorial(1), Nat::one());
+        assert_eq!(factorial(5), Nat::from(120u64));
+        assert_eq!(factorial(20), Nat::from(2_432_902_008_176_640_000u64));
+    }
+
+    #[test]
+    fn code_width_is_log_factorial() {
+        assert_eq!(permutation_code_width(0), 0);
+        assert_eq!(permutation_code_width(1), 0);
+        assert_eq!(permutation_code_width(2), 1);
+        assert_eq!(permutation_code_width(3), 3); // 3! = 6 → 3 bits
+        assert_eq!(permutation_code_width(4), 5); // 24 → 5 bits
+        // log2(100!) ≈ 524.76 → 525 bits.
+        assert_eq!(permutation_code_width(100), 525);
+    }
+
+    #[test]
+    fn lehmer_code_known_example() {
+        // perm [2,0,3,1]: digits 2,0,1,0.
+        assert_eq!(lehmer_code(&[2, 0, 3, 1]).unwrap(), vec![2, 0, 1, 0]);
+        assert_eq!(from_lehmer_code(&[2, 0, 1, 0]).unwrap(), vec![2, 0, 3, 1]);
+    }
+
+    #[test]
+    fn rank_is_lexicographic() {
+        // Permutations of 0..3 in lex order.
+        let order = [
+            vec![0usize, 1, 2],
+            vec![0, 2, 1],
+            vec![1, 0, 2],
+            vec![1, 2, 0],
+            vec![2, 0, 1],
+            vec![2, 1, 0],
+        ];
+        for (i, p) in order.iter().enumerate() {
+            assert_eq!(permutation_rank(p).unwrap(), Nat::from(i as u64), "{p:?}");
+            assert_eq!(permutation_unrank(3, &Nat::from(i as u64)).unwrap(), *p);
+        }
+    }
+
+    #[test]
+    fn rank_unrank_exhaustive_n5() {
+        let mut seen = std::collections::HashSet::new();
+        let mut perm: Vec<usize> = (0..5).collect();
+        // Iterate all 120 permutations via repeated next_permutation.
+        loop {
+            let rank = permutation_rank(&perm).unwrap().to_u64().unwrap();
+            assert!(rank < 120);
+            assert!(seen.insert(rank));
+            assert_eq!(permutation_unrank(5, &Nat::from(rank)).unwrap(), perm);
+            // next_permutation
+            let n = perm.len();
+            let Some(i) = (0..n - 1).rev().find(|&i| perm[i] < perm[i + 1]) else {
+                break;
+            };
+            let j = (i + 1..n).rev().find(|&j| perm[j] > perm[i]).unwrap();
+            perm.swap(i, j);
+            perm[i + 1..].reverse();
+        }
+        assert_eq!(seen.len(), 120);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_large() {
+        // Pseudo-random permutation of 200 items.
+        let n = 200usize;
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut state = 0x1234_5678u64;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            perm.swap(i, j);
+        }
+        let mut w = BitWriter::new();
+        encode_permutation(&mut w, &perm).unwrap();
+        assert_eq!(w.len(), permutation_code_width(n));
+        let bits = w.finish();
+        let mut r = BitReader::new(&bits);
+        assert_eq!(decode_permutation(&mut r, n).unwrap(), perm);
+        assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn invalid_permutations_rejected() {
+        assert!(validate_permutation(&[0, 0]).is_err());
+        assert!(validate_permutation(&[0, 2]).is_err());
+        assert!(validate_permutation(&[1, 2, 3]).is_err());
+        assert!(from_lehmer_code(&[2, 0]).is_err());
+        assert!(permutation_unrank(3, &Nat::from(6u64)).is_err());
+    }
+
+    #[test]
+    fn identity_and_reverse_are_extremes() {
+        let n = 30usize;
+        let id: Vec<usize> = (0..n).collect();
+        let rev: Vec<usize> = (0..n).rev().collect();
+        assert!(permutation_rank(&id).unwrap().is_zero());
+        let max_rank = factorial(n as u64).sub(&Nat::one());
+        assert_eq!(permutation_rank(&rev).unwrap(), max_rank);
+    }
+}

@@ -1,0 +1,150 @@
+//! Bit-exact coding substrate for the *Optimal Routing Tables* reproduction.
+//!
+//! The space bounds of Buhrman–Hoepman–Vitányi (PODC 1996) are stated in
+//! **bits**, and their incompressibility proofs are encoder/decoder pairs
+//! operating on the canonical bit-string encoding of a graph. Every routing
+//! scheme in this workspace therefore serializes to real bit strings, and
+//! this crate provides the machinery:
+//!
+//! * [`BitVec`] — a growable, indexable bit vector.
+//! * [`BitWriter`] / [`BitReader`] — sequential MSB-first bit IO.
+//! * [`codes`] — unary, fixed-width, Elias γ/δ, and the paper's two
+//!   self-delimiting codes `z̄ = 1^{|z|} 0 z` and `z′ = |z|‾ z` (Definition 4).
+//! * [`Nat`] — a minimal arbitrary-precision natural number, enough for
+//!   binomial/factorial ranking.
+//! * [`enumerative`] — enumerative (combinatorial-number-system) coding of
+//!   `k`-subsets of `{0..n-1}` in exactly `⌈log₂ C(n,k)⌉` bits, the workhorse
+//!   of the Lemma 1 / Theorem 6 compression arguments.
+//! * [`lehmer`] — permutation ranking (Lehmer codes), used by the Theorem 8/9
+//!   port-assignment and relabelling lower bounds.
+//!
+//! # Example
+//!
+//! ```
+//! use ort_bitio::{BitWriter, BitReader, codes};
+//!
+//! # fn main() -> Result<(), ort_bitio::CodeError> {
+//! let mut w = BitWriter::new();
+//! w.write_unary(3)?;
+//! codes::write_elias_gamma(&mut w, 17)?;
+//! let bits = w.finish();
+//!
+//! let mut r = BitReader::new(&bits);
+//! assert_eq!(r.read_unary()?, 3);
+//! assert_eq!(codes::read_elias_gamma(&mut r)?, 17);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitvec;
+mod error;
+mod nat;
+mod reader;
+mod writer;
+
+pub mod codes;
+pub mod enumerative;
+pub mod lehmer;
+
+pub use bitvec::BitVec;
+pub use error::CodeError;
+pub use nat::Nat;
+pub use reader::BitReader;
+pub use writer::BitWriter;
+
+/// Number of bits needed to store any value in `0..n` (i.e. `⌈log₂ n⌉`,
+/// with the conventions `bits_to_index(0) == 0` and `bits_to_index(1) == 0`).
+///
+/// This is the width used for fixed-width table entries throughout the
+/// schemes: an index into a table of `n` entries takes `bits_to_index(n)`
+/// bits.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(ort_bitio::bits_to_index(1), 0);
+/// assert_eq!(ort_bitio::bits_to_index(2), 1);
+/// assert_eq!(ort_bitio::bits_to_index(5), 3);
+/// assert_eq!(ort_bitio::bits_to_index(8), 3);
+/// assert_eq!(ort_bitio::bits_to_index(9), 4);
+/// ```
+#[must_use]
+pub fn bits_to_index(n: u64) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        64 - (n - 1).leading_zeros()
+    }
+}
+
+/// Number of bits in the binary representation of `n` (`⌊log₂ n⌋ + 1` for
+/// `n ≥ 1`; by convention `bit_len(0) == 0`).
+///
+/// This matches the paper's `log(n+1)` rounding: a value known to lie in
+/// `0..=n` fits in `bit_len(n)` bits.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(ort_bitio::bit_len(0), 0);
+/// assert_eq!(ort_bitio::bit_len(1), 1);
+/// assert_eq!(ort_bitio::bit_len(8), 4);
+/// ```
+#[must_use]
+pub fn bit_len(n: u64) -> u32 {
+    64 - n.leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_to_index_small_values() {
+        let expect = [
+            (0, 0),
+            (1, 0),
+            (2, 1),
+            (3, 2),
+            (4, 2),
+            (5, 3),
+            (7, 3),
+            (8, 3),
+            (9, 4),
+            (16, 4),
+            (17, 5),
+        ];
+        for (n, w) in expect {
+            assert_eq!(bits_to_index(n), w, "bits_to_index({n})");
+        }
+    }
+
+    #[test]
+    fn bits_to_index_covers_all_indices() {
+        for n in 1u64..200 {
+            let w = bits_to_index(n);
+            // Every index below n must fit in w bits.
+            assert!((n - 1) < (1u64 << w).max(1), "n={n} w={w}");
+        }
+    }
+
+    #[test]
+    fn bit_len_matches_leading_zeros() {
+        assert_eq!(bit_len(0), 0);
+        for n in 1u64..1000 {
+            let w = bit_len(n);
+            assert!(n >> (w - 1) == 1, "n={n} w={w}");
+        }
+        assert_eq!(bit_len(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bits_to_index_is_bit_len_of_n_minus_one() {
+        for n in 2u64..500 {
+            assert_eq!(bits_to_index(n), bit_len(n - 1));
+        }
+    }
+}

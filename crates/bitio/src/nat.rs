@@ -1,0 +1,410 @@
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::{BitReader, BitVec, BitWriter, CodeError};
+
+/// A minimal arbitrary-precision natural number.
+///
+/// The enumerative and permutation codes need exact arithmetic on numbers
+/// like `C(2048, 1024)` (≈ 2²⁰⁴⁰) and `1000!`; `Nat` supports exactly the
+/// operations those codes require — addition, subtraction, comparison,
+/// multiplication and division by a machine word, and bit-level export —
+/// and nothing more.
+///
+/// Internally the value is a little-endian vector of 64-bit limbs with no
+/// trailing zero limbs (so `Eq` is structural equality of values).
+///
+/// # Example
+///
+/// ```
+/// use ort_bitio::Nat;
+///
+/// let mut factorial = Nat::from(1u64);
+/// for k in 1..=30u64 {
+///     factorial = factorial.mul_small(k);
+/// }
+/// assert_eq!(factorial.bit_len(), 108); // 30! needs 108 bits
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Nat {
+    /// Little-endian limbs, canonical (no trailing zeros).
+    limbs: Vec<u64>,
+}
+
+impl Nat {
+    /// The value zero.
+    #[must_use]
+    pub fn zero() -> Self {
+        Nat { limbs: Vec::new() }
+    }
+
+    /// The value one.
+    #[must_use]
+    pub fn one() -> Self {
+        Nat { limbs: vec![1] }
+    }
+
+    /// Whether the value is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Number of bits in the binary representation (0 for zero).
+    #[must_use]
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => 64 * (self.limbs.len() - 1) + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Returns bit `i` (little-endian bit order; bit 0 is the least
+    /// significant).
+    #[must_use]
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 64;
+        if limb >= self.limbs.len() {
+            return false;
+        }
+        (self.limbs[limb] >> (i % 64)) & 1 == 1
+    }
+
+    /// Adds `other` into `self`.
+    pub fn add_assign(&mut self, other: &Nat) {
+        let n = self.limbs.len().max(other.limbs.len());
+        self.limbs.resize(n, 0);
+        let mut carry = 0u64;
+        for i in 0..n {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = self.limbs[i].overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            self.limbs[i] = s2;
+            carry = u64::from(c1) + u64::from(c2);
+        }
+        if carry != 0 {
+            self.limbs.push(carry);
+        }
+    }
+
+    /// Returns `self + other`.
+    #[must_use]
+    pub fn add(&self, other: &Nat) -> Nat {
+        let mut out = self.clone();
+        out.add_assign(other);
+        out
+    }
+
+    /// Subtracts `other` from `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self` (natural numbers do not go negative; hitting
+    /// this indicates a bug in a ranking algorithm).
+    pub fn sub_assign(&mut self, other: &Nat) {
+        assert!(*self >= *other, "Nat subtraction underflow");
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, c1) = self.limbs[i].overflowing_sub(b);
+            let (d2, c2) = d1.overflowing_sub(borrow);
+            self.limbs[i] = d2;
+            borrow = u64::from(c1) + u64::from(c2);
+        }
+        debug_assert_eq!(borrow, 0);
+        self.normalize();
+    }
+
+    /// Returns `self - other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self`.
+    #[must_use]
+    pub fn sub(&self, other: &Nat) -> Nat {
+        let mut out = self.clone();
+        out.sub_assign(other);
+        out
+    }
+
+    /// Returns `self * k` for a machine-word multiplier.
+    #[must_use]
+    pub fn mul_small(&self, k: u64) -> Nat {
+        if k == 0 || self.is_zero() {
+            return Nat::zero();
+        }
+        let mut limbs = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u128;
+        for &l in &self.limbs {
+            let prod = u128::from(l) * u128::from(k) + carry;
+            limbs.push(prod as u64);
+            carry = prod >> 64;
+        }
+        if carry != 0 {
+            limbs.push(carry as u64);
+        }
+        Nat { limbs }
+    }
+
+    /// Returns `(self / k, self % k)` for a machine-word divisor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn divmod_small(&self, k: u64) -> (Nat, u64) {
+        assert_ne!(k, 0, "division by zero");
+        let mut quotient = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | u128::from(self.limbs[i]);
+            quotient[i] = (cur / u128::from(k)) as u64;
+            rem = cur % u128::from(k);
+        }
+        let mut q = Nat { limbs: quotient };
+        q.normalize();
+        (q, rem as u64)
+    }
+
+    /// Converts to `u64` if the value fits.
+    #[must_use]
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Writes the value in exactly `width` bits, MSB first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::Overflow`] if the value does not fit in `width`
+    /// bits.
+    pub fn write_bits(&self, w: &mut BitWriter, width: usize) -> Result<(), CodeError> {
+        if self.bit_len() > width {
+            return Err(CodeError::Overflow { what: "Nat does not fit fixed width" });
+        }
+        for i in (0..width).rev() {
+            w.write_bit(self.bit(i));
+        }
+        Ok(())
+    }
+
+    /// Reads a `width`-bit MSB-first value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::UnexpectedEnd`] if the stream is too short.
+    pub fn read_bits(r: &mut BitReader<'_>, width: usize) -> Result<Nat, CodeError> {
+        let mut limbs = vec![0u64; width.div_ceil(64)];
+        for i in (0..width).rev() {
+            if r.read_bit()? {
+                limbs[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        let mut n = Nat { limbs };
+        n.normalize();
+        Ok(n)
+    }
+
+    /// Exports the value as a [`BitVec`] of exactly `width` bits, MSB first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::Overflow`] if the value does not fit.
+    pub fn to_bitvec(&self, width: usize) -> Result<BitVec, CodeError> {
+        let mut w = BitWriter::with_capacity(width);
+        self.write_bits(&mut w, width)?;
+        Ok(w.finish())
+    }
+}
+
+impl From<u64> for Nat {
+    fn from(v: u64) -> Nat {
+        if v == 0 {
+            Nat::zero()
+        } else {
+            Nat { limbs: vec![v] }
+        }
+    }
+}
+
+impl From<u32> for Nat {
+    fn from(v: u32) -> Nat {
+        Nat::from(u64::from(v))
+    }
+}
+
+impl PartialOrd for Nat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Nat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => {}
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl fmt::Debug for Nat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Nat({self})")
+    }
+}
+
+impl fmt::Display for Nat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        // Repeated division by 10^19 (the largest power of ten in a u64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut chunks = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.divmod_small(CHUNK);
+            chunks.push(r);
+            cur = q;
+        }
+        write!(f, "{}", chunks.last().expect("nonzero has chunks"))?;
+        for c in chunks.iter().rev().skip(1) {
+            write!(f, "{c:019}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_arithmetic_matches_u128() {
+        let a = Nat::from(0xFFFF_FFFF_FFFF_FFFFu64);
+        let b = a.add(&a); // 2 * (2^64 - 1)
+        assert_eq!(b.bit_len(), 65);
+        let c = b.sub(&a);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn add_sub_roundtrip_random() {
+        let mut x = Nat::from(12345u64);
+        let step = Nat::from(0xDEAD_BEEFu64);
+        let orig = x.clone();
+        for _ in 0..100 {
+            x.add_assign(&step);
+        }
+        for _ in 0..100 {
+            x.sub_assign(&step);
+        }
+        assert_eq!(x, orig);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let mut a = Nat::from(1u64);
+        a.sub_assign(&Nat::from(2u64));
+    }
+
+    #[test]
+    fn mul_divmod_roundtrip() {
+        let mut x = Nat::one();
+        for k in 2..=50u64 {
+            x = x.mul_small(k);
+        }
+        // x = 50!; divide back down.
+        for k in (2..=50u64).rev() {
+            let (q, r) = x.divmod_small(k);
+            assert_eq!(r, 0, "50! divisible by {k}");
+            x = q;
+        }
+        assert_eq!(x, Nat::one());
+    }
+
+    #[test]
+    fn factorial_bit_lengths() {
+        // log2(100!) ≈ 524.76, so 100! has 525 bits.
+        let mut f = Nat::one();
+        for k in 2..=100u64 {
+            f = f.mul_small(k);
+        }
+        assert_eq!(f.bit_len(), 525);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        let a = Nat::from(5u64);
+        let big = Nat::from(1u64).mul_small(u64::MAX).mul_small(u64::MAX);
+        assert!(a < big);
+        assert!(big > a);
+        assert_eq!(a.cmp(&Nat::from(5u64)), Ordering::Equal);
+    }
+
+    #[test]
+    fn bit_export_roundtrip() {
+        let v = Nat::from(0b1011_0110u64);
+        let bv = v.to_bitvec(12).unwrap();
+        assert_eq!(bv.to_string(), "000010110110");
+        let mut r = BitReader::new(&bv);
+        let back = Nat::read_bits(&mut r, 12).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn bit_export_rejects_too_narrow() {
+        let v = Nat::from(256u64);
+        assert!(v.to_bitvec(8).is_err());
+        assert!(v.to_bitvec(9).is_ok());
+    }
+
+    #[test]
+    fn display_decimal() {
+        assert_eq!(Nat::zero().to_string(), "0");
+        assert_eq!(Nat::from(12345u64).to_string(), "12345");
+        // 2^64 = 18446744073709551616
+        let v = Nat::from(u64::MAX).add(&Nat::one());
+        assert_eq!(v.to_string(), "18446744073709551616");
+        // 100! spot check against a known value prefix.
+        let mut f = Nat::one();
+        for k in 2..=25u64 {
+            f = f.mul_small(k);
+        }
+        assert_eq!(f.to_string(), "15511210043330985984000000"); // 25!
+    }
+
+    #[test]
+    fn to_u64_boundaries() {
+        assert_eq!(Nat::zero().to_u64(), Some(0));
+        assert_eq!(Nat::from(u64::MAX).to_u64(), Some(u64::MAX));
+        assert_eq!(Nat::from(u64::MAX).add(&Nat::one()).to_u64(), None);
+    }
+
+    #[test]
+    fn zero_handling() {
+        assert!(Nat::zero().is_zero());
+        assert_eq!(Nat::zero().bit_len(), 0);
+        assert_eq!(Nat::from(0u64), Nat::zero());
+        assert_eq!(Nat::one().mul_small(0), Nat::zero());
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based tests for the bit-coding substrate.
+//!
+//! Every code in `ort-bitio` must be a *uniquely decodable* bijection on its
+//! domain — the incompressibility arguments in the paper silently assume
+//! this, so we hammer it with random inputs.
+
+use proptest::prelude::*;
+
+use ort_bitio::{codes, enumerative, lehmer, BitReader, BitVec, BitWriter, Nat};
+
+proptest! {
+    #[test]
+    fn bitvec_roundtrips_bools(bits in proptest::collection::vec(any::<bool>(), 0..512)) {
+        let bv = BitVec::from_bools(&bits);
+        prop_assert_eq!(bv.len(), bits.len());
+        prop_assert_eq!(bv.to_bools(), bits);
+    }
+
+    #[test]
+    fn bitvec_slice_matches_bools(
+        bits in proptest::collection::vec(any::<bool>(), 1..256),
+        a in 0usize..256,
+        b in 0usize..256,
+    ) {
+        let bv = BitVec::from_bools(&bits);
+        let lo = a.min(b) % (bits.len() + 1);
+        let hi = (a.max(b) % (bits.len() + 1)).max(lo);
+        let sliced = bv.slice(lo..hi);
+        prop_assert_eq!(sliced.to_bools(), bits[lo..hi].to_vec());
+    }
+
+    #[test]
+    fn fixed_width_roundtrip(v in any::<u64>(), extra in 0u32..8) {
+        let width = ort_bitio::bit_len(v).min(64 - extra) + extra;
+        let width = width.min(64).max(ort_bitio::bit_len(v));
+        let mut w = BitWriter::new();
+        w.write_bits(v, width).unwrap();
+        let bits = w.finish();
+        prop_assert_eq!(bits.len(), width as usize);
+        let mut r = BitReader::new(&bits);
+        prop_assert_eq!(r.read_bits(width).unwrap(), v);
+    }
+
+    #[test]
+    fn unary_roundtrip(k in 0u64..5000) {
+        let mut w = BitWriter::new();
+        w.write_unary(k).unwrap();
+        let bits = w.finish();
+        prop_assert_eq!(bits.len() as u64, k + 1);
+        let mut r = BitReader::new(&bits);
+        prop_assert_eq!(r.read_unary().unwrap(), k);
+    }
+
+    #[test]
+    fn gamma_delta_roundtrip(n in 1u64..u64::MAX) {
+        let mut w = BitWriter::new();
+        codes::write_elias_gamma(&mut w, n).unwrap();
+        codes::write_elias_delta(&mut w, n).unwrap();
+        let bits = w.finish();
+        let mut r = BitReader::new(&bits);
+        prop_assert_eq!(codes::read_elias_gamma(&mut r).unwrap(), n);
+        prop_assert_eq!(codes::read_elias_delta(&mut r).unwrap(), n);
+        prop_assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn selfdelim_stream_of_strings_roundtrip(
+        chunks in proptest::collection::vec(proptest::collection::vec(any::<bool>(), 0..64), 0..12)
+    ) {
+        // Concatenate z' codes; the whole stream must parse back exactly —
+        // this is the paper's "z'...y'z allows the concatenated binary
+        // sub-descriptions to be parsed and unpacked".
+        let mut w = BitWriter::new();
+        for c in &chunks {
+            codes::write_selfdelim_prime(&mut w, &BitVec::from_bools(c));
+        }
+        let bits = w.finish();
+        let mut r = BitReader::new(&bits);
+        for c in &chunks {
+            prop_assert_eq!(codes::read_selfdelim_prime(&mut r).unwrap().to_bools(), c.clone());
+        }
+        prop_assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn selfdelim_u64_roundtrip(n in any::<u64>()) {
+        let mut w = BitWriter::new();
+        codes::write_u64_selfdelim(&mut w, n).unwrap();
+        let bits = w.finish();
+        let mut r = BitReader::new(&bits);
+        prop_assert_eq!(codes::read_u64_selfdelim(&mut r).unwrap(), n);
+        prop_assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn nat_add_sub_inverse(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        // (a + b + c) - b - c == a, exercised across limb boundaries.
+        let na = Nat::from(a);
+        let nb = Nat::from(b).mul_small(c.max(1));
+        let sum = na.add(&nb);
+        prop_assert_eq!(sum.sub(&nb), na);
+    }
+
+    #[test]
+    fn nat_mul_div_inverse(a in any::<u64>(), k in 1u64..u64::MAX) {
+        let na = Nat::from(a).mul_small(0x9E37_79B9).add(&Nat::one());
+        let prod = na.mul_small(k);
+        let (q, r) = prod.divmod_small(k);
+        prop_assert_eq!(q, na);
+        prop_assert_eq!(r, 0);
+    }
+
+    #[test]
+    fn subset_roundtrip(n in 1usize..120, seed in any::<u64>()) {
+        // Pseudo-random subset of {0..n-1}.
+        let mut state = seed;
+        let subset: Vec<usize> = (0..n).filter(|_| {
+            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1442695040888963407);
+            (state >> 62) & 1 == 1
+        }).collect();
+        let mut w = BitWriter::new();
+        enumerative::encode_subset(&mut w, n, &subset).unwrap();
+        prop_assert_eq!(w.len(), enumerative::subset_code_width(n, subset.len()));
+        let bits = w.finish();
+        let mut r = BitReader::new(&bits);
+        prop_assert_eq!(enumerative::decode_subset(&mut r, n, subset.len()).unwrap(), subset);
+        prop_assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn subset_rank_strictly_monotone_in_lex_order(n in 2usize..40, seed in any::<u64>()) {
+        // Two distinct subsets of the same size have distinct ranks.
+        let mut state = seed;
+        let mut pick = |n: usize| -> Vec<usize> {
+            (0..n).filter(|_| {
+                state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(99);
+                (state >> 62) & 1 == 1
+            }).collect()
+        };
+        let a = pick(n);
+        let b = pick(n);
+        if a.len() == b.len() && a != b {
+            prop_assert_ne!(
+                enumerative::subset_rank(n, &a).unwrap(),
+                enumerative::subset_rank(n, &b).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn permutation_roundtrip(n in 0usize..80, seed in any::<u64>()) {
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut state = seed | 1;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(7);
+            let j = (state >> 33) as usize % (i + 1);
+            perm.swap(i, j);
+        }
+        let mut w = BitWriter::new();
+        lehmer::encode_permutation(&mut w, &perm).unwrap();
+        prop_assert_eq!(w.len(), lehmer::permutation_code_width(n));
+        let bits = w.finish();
+        let mut r = BitReader::new(&bits);
+        prop_assert_eq!(lehmer::decode_permutation(&mut r, n).unwrap(), perm);
+        prop_assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn lehmer_code_roundtrip(n in 0usize..60, seed in any::<u64>()) {
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut state = seed | 1;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(2_862_933_555_777_941_757).wrapping_add(3037000493);
+            let j = (state >> 33) as usize % (i + 1);
+            perm.swap(i, j);
+        }
+        let code = lehmer::lehmer_code(&perm).unwrap();
+        prop_assert_eq!(lehmer::from_lehmer_code(&code).unwrap(), perm);
+    }
+}

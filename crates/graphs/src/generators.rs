@@ -1,0 +1,553 @@
+//! Deterministic graph generators.
+//!
+//! The central family is [`gnp_half`]: uniform `G(n, 1/2)` samples. Picking
+//! a graph uniformly at random is the same as picking its `E(G)` encoding
+//! uniformly among all `n(n−1)/2`-bit strings, and by the counting argument
+//! of Definition 3 all but a `1/n^c` fraction of those are `(c·log n)`-
+//! random — so seeded `G(n, 1/2)` samples are the executable stand-in for
+//! the paper's Kolmogorov random graphs ([`crate::random_props`] checks the
+//! lemma properties per sample).
+//!
+//! [`gb_graph`] builds the explicit worst-case graph of **Figure 1** used
+//! by Theorem 9.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Graph, NodeId};
+
+/// Samples `G(n, p)`: every pair is an edge independently with probability
+/// `p`, using the given RNG.
+///
+/// # Panics
+///
+/// Panics if `p` is not within `[0, 1]`.
+#[must_use]
+pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+    let mut g = Graph::empty(n);
+    for u in 0..n {
+        for v in u + 1..n {
+            if rng.gen_bool(p) {
+                g.add_edge(u, v).expect("valid pair");
+            }
+        }
+    }
+    g
+}
+
+/// Samples a uniformly random graph (`G(n, 1/2)`) from a fixed seed.
+///
+/// This is the workspace's Kolmogorov-random-graph workload: uniform over
+/// all labelled graphs on `n` nodes, reproducible from `seed`.
+#[must_use]
+pub fn gnp_half(n: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    gnp(n, 0.5, &mut rng)
+}
+
+/// Samples `G(n, m)`: a graph with exactly `m` edges chosen uniformly
+/// without replacement.
+///
+/// # Panics
+///
+/// Panics if `m > n(n-1)/2`.
+#[must_use]
+pub fn gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Graph {
+    let total = n * (n - 1) / 2;
+    assert!(m <= total, "m={m} exceeds {total} possible edges");
+    // Partial Fisher–Yates over edge indices.
+    let mut indices: Vec<usize> = (0..total).collect();
+    let mut g = Graph::empty(n);
+    for i in 0..m {
+        let j = rng.gen_range(i..total);
+        indices.swap(i, j);
+        let (u, v) = Graph::index_to_edge(n, indices[i]);
+        g.add_edge(u, v).expect("valid pair");
+    }
+    g
+}
+
+/// The complete graph `K_n`.
+#[must_use]
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::empty(n);
+    for u in 0..n {
+        for v in u + 1..n {
+            g.add_edge(u, v).expect("valid pair");
+        }
+    }
+    g
+}
+
+/// The path (chain) `0 − 1 − … − n-1`, the paper's introductory example of
+/// a graph whose routing functions become trivial under relabelling.
+#[must_use]
+pub fn path(n: usize) -> Graph {
+    let mut g = Graph::empty(n);
+    for u in 1..n {
+        g.add_edge(u - 1, u).expect("valid pair");
+    }
+    g
+}
+
+/// The cycle `C_n`.
+///
+/// # Panics
+///
+/// Panics if `n < 3` (smaller cycles are not simple graphs).
+#[must_use]
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs at least 3 nodes");
+    let mut g = path(n);
+    g.add_edge(n - 1, 0).expect("valid pair");
+    g
+}
+
+/// The star with centre `0` and `n-1` leaves.
+#[must_use]
+pub fn star(n: usize) -> Graph {
+    let mut g = Graph::empty(n);
+    for v in 1..n {
+        g.add_edge(0, v).expect("valid pair");
+    }
+    g
+}
+
+/// The complete bipartite graph `K_{a,b}` with parts `0..a` and `a..a+b`.
+#[must_use]
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut g = Graph::empty(a + b);
+    for u in 0..a {
+        for v in a..a + b {
+            g.add_edge(u, v).expect("valid pair");
+        }
+    }
+    g
+}
+
+/// The `rows × cols` grid graph.
+#[must_use]
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let mut g = Graph::empty(rows * cols);
+    let id = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(id(r, c), id(r, c + 1)).expect("valid pair");
+            }
+            if r + 1 < rows {
+                g.add_edge(id(r, c), id(r + 1, c)).expect("valid pair");
+            }
+        }
+    }
+    g
+}
+
+/// The Theorem 9 / **Figure 1** lower-bound graph `G_B` on `n = 3k` nodes.
+///
+/// Layers (zero-based ids):
+///
+/// * bottom `v_1..v_k` → ids `0..k`;
+/// * middle `v_{k+1}..v_{2k}` → ids `k..2k`;
+/// * top `v_{2k+1}..v_{3k}` → ids `2k..3k`.
+///
+/// Each middle node `k + i` is connected to its top partner `2k + i` and to
+/// **every** bottom node. The unique shortest path from bottom `b` to top
+/// `2k + i` is `b → (k + i) → (2k + i)` of length 2; every alternative has
+/// length ≥ 4, so any routing scheme with stretch < 2 must route `b → top`
+/// through the matching middle node — which is the source of the
+/// `(n/3)·log(n/3)` bits-per-node lower bound.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+#[must_use]
+pub fn gb_graph(k: usize) -> Graph {
+    assert!(k > 0, "G_B needs k >= 1");
+    let mut g = Graph::empty(3 * k);
+    for i in 0..k {
+        let middle = k + i;
+        let top = 2 * k + i;
+        g.add_edge(middle, top).expect("valid pair");
+        for b in 0..k {
+            g.add_edge(b, middle).expect("valid pair");
+        }
+    }
+    g
+}
+
+/// The Theorem 9 graph for **any** `n ≥ 3`: `G_B` on `3k ≥ n` nodes with
+/// the excess top-layer nodes dropped, exactly as the paper handles
+/// `n = 3k − 1` and `n = 3k − 2` ("we can use `G_B`, dropping `v_k` and
+/// `v_{k−1}`" — zero-based: the last top nodes).
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+#[must_use]
+pub fn gb_graph_any(n: usize) -> Graph {
+    assert!(n >= 3, "G_B needs at least 3 nodes");
+    let k = n.div_ceil(3);
+    let full = gb_graph(k);
+    if n == 3 * k {
+        return full;
+    }
+    // Keep nodes 0..n (drops only top-layer nodes 2k..3k).
+    let mut g = Graph::empty(n);
+    for (u, v) in full.edges() {
+        if u < n && v < n {
+            g.add_edge(u, v).expect("valid pair");
+        }
+    }
+    g
+}
+
+/// A uniformly random permutation of `0..n` from the given RNG
+/// (Fisher–Yates). Used for adversarial port assignments (Theorem 8) and
+/// β-relabellings (Theorem 9).
+#[must_use]
+pub fn random_permutation<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<NodeId> {
+    let mut perm: Vec<NodeId> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    perm
+}
+
+/// A random `d`-regular graph via the configuration (pairing) model,
+/// retrying until the pairing is simple. Realistic stand-in for switch
+/// fabrics with fixed port counts. The acceptance probability of a pairing
+/// is ≈ `exp(−(d²−1)/4)`, so this is practical for `d ≲ 6`; larger degrees
+/// need an edge-switching sampler.
+///
+/// # Panics
+///
+/// Panics if `n·d` is odd, `d ≥ n`, or 20000 pairing attempts all produce
+/// multi-edges/self-loops (expected only for large `d`).
+#[must_use]
+pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph {
+    assert!(d < n, "degree {d} must be below n={n}");
+    assert!((n * d).is_multiple_of(2), "n·d must be even");
+    'attempt: for _ in 0..20000 {
+        // Stubs: d copies of each node, paired uniformly.
+        let mut stubs: Vec<NodeId> = (0..n).flat_map(|u| std::iter::repeat_n(u, d)).collect();
+        for i in (1..stubs.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            stubs.swap(i, j);
+        }
+        let mut g = Graph::empty(n);
+        for pair in stubs.chunks(2) {
+            let (u, v) = (pair[0], pair[1]);
+            if u == v || g.has_edge(u, v) {
+                continue 'attempt;
+            }
+            g.add_edge(u, v).expect("valid pair");
+        }
+        return g;
+    }
+    panic!("no simple {d}-regular pairing found for n={n}");
+}
+
+/// A Watts–Strogatz small-world graph: a ring lattice where each node
+/// connects to its `k/2` nearest neighbours on each side, with every edge
+/// rewired to a random endpoint with probability `beta`.
+///
+/// # Panics
+///
+/// Panics if `k` is odd, `k ≥ n`, or `beta ∉ [0, 1]`.
+#[must_use]
+pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut R) -> Graph {
+    assert!(k.is_multiple_of(2) && k < n, "k must be even and below n");
+    assert!((0.0..=1.0).contains(&beta), "beta out of range");
+    let mut g = Graph::empty(n);
+    for u in 0..n {
+        for step in 1..=k / 2 {
+            let v = (u + step) % n;
+            if rng.gen_bool(beta) {
+                // Rewire: pick a random non-self, non-duplicate endpoint.
+                let mut w = rng.gen_range(0..n);
+                let mut guard = 0;
+                while (w == u || g.has_edge(u, w)) && guard < 4 * n {
+                    w = rng.gen_range(0..n);
+                    guard += 1;
+                }
+                if w != u && !g.has_edge(u, w) {
+                    g.add_edge(u, w).expect("valid pair");
+                    continue;
+                }
+            }
+            g.add_edge(u, v).expect("valid pair");
+        }
+    }
+    g
+}
+
+/// A Barabási–Albert preferential-attachment graph: starts from a small
+/// clique and attaches each new node to `m` existing nodes with
+/// probability proportional to their degree. Produces the heavy-tailed
+/// degree distributions of real internetworks.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `m + 1 > n`.
+#[must_use]
+pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Graph {
+    assert!(m >= 1 && m < n, "need 1 ≤ m < n");
+    // Seed clique on nodes 0..=m inside the full-size graph.
+    let mut grown = Graph::empty(n);
+    for u in 0..=m {
+        for v in u + 1..=m {
+            grown.add_edge(u, v).expect("valid pair");
+        }
+    }
+    // Degree-weighted sampling via the repeated-endpoints trick.
+    let mut endpoints: Vec<NodeId> = grown.edges().flat_map(|(u, v)| [u, v]).collect();
+    for u in m + 1..n {
+        let mut targets = std::collections::BTreeSet::new();
+        let mut guard = 0;
+        while targets.len() < m && guard < 100 * m {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            targets.insert(t);
+            guard += 1;
+        }
+        // Fallback: fill from low ids if sampling stalled (tiny graphs).
+        let mut fill = 0;
+        while targets.len() < m {
+            targets.insert(fill);
+            fill += 1;
+        }
+        for &t in &targets {
+            grown.add_edge(u, t).expect("valid pair");
+            endpoints.push(u);
+            endpoints.push(t);
+        }
+    }
+    grown
+}
+
+/// A connected `G(n, p)` sample: re-draws (with derived seeds) until the
+/// sample is connected. For `p ≥ 2 ln n / n` this succeeds immediately with
+/// high probability.
+///
+/// # Panics
+///
+/// Panics if 1000 attempts all produce disconnected graphs, which indicates
+/// `p` far below the connectivity threshold.
+#[must_use]
+pub fn connected_gnp(n: usize, p: f64, seed: u64) -> Graph {
+    for attempt in 0..1000u64 {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(attempt));
+        let g = gnp(n, p, &mut rng);
+        if crate::paths::is_connected(&g) {
+            return g;
+        }
+    }
+    panic!("no connected G({n}, {p}) sample in 1000 attempts");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnp_half_is_deterministic_and_dense() {
+        let a = gnp_half(50, 7);
+        let b = gnp_half(50, 7);
+        assert_eq!(a, b);
+        let c = gnp_half(50, 8);
+        assert_ne!(a, c);
+        // Expected edges = C(50,2)/2 = 612.5; allow wide tolerance.
+        let m = a.edge_count();
+        assert!((450..=800).contains(&m), "edge count {m}");
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(gnp(10, 0.0, &mut rng).edge_count(), 0);
+        assert_eq!(gnp(10, 1.0, &mut rng).edge_count(), 45);
+    }
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for m in [0usize, 1, 10, 45] {
+            let g = gnm(10, m, &mut rng);
+            assert_eq!(g.edge_count(), m);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn gnm_rejects_too_many_edges() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = gnm(4, 7, &mut rng);
+    }
+
+    #[test]
+    fn classic_topologies() {
+        assert_eq!(complete(6).edge_count(), 15);
+        assert_eq!(path(5).edge_count(), 4);
+        assert_eq!(cycle(5).edge_count(), 5);
+        assert_eq!(star(7).edge_count(), 6);
+        assert_eq!(star(7).degree(0), 6);
+        assert_eq!(complete_bipartite(3, 4).edge_count(), 12);
+        let g = grid(3, 4);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 3 * 3 + 2 * 4); // horizontal + vertical
+    }
+
+    #[test]
+    fn bipartite_has_no_internal_edges() {
+        let g = complete_bipartite(3, 3);
+        for u in 0..3 {
+            for v in 0..3 {
+                if u != v {
+                    assert!(!g.has_edge(u, v));
+                    assert!(!g.has_edge(3 + u, 3 + v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gb_graph_structure() {
+        let k = 5;
+        let g = gb_graph(k);
+        assert_eq!(g.node_count(), 15);
+        // Each middle node: k bottom edges + 1 top edge.
+        for i in 0..k {
+            assert_eq!(g.degree(k + i), k + 1, "middle node {}", k + i);
+            assert_eq!(g.degree(2 * k + i), 1, "top node {}", 2 * k + i);
+            assert!(g.has_edge(k + i, 2 * k + i));
+        }
+        for b in 0..k {
+            assert_eq!(g.degree(b), k, "bottom node {b}");
+        }
+        // No bottom-bottom, no top-top, no bottom-top edges.
+        for a in 0..k {
+            for b in 0..k {
+                if a != b {
+                    assert!(!g.has_edge(a, b));
+                    assert!(!g.has_edge(2 * k + a, 2 * k + b));
+                }
+                assert!(!g.has_edge(a, 2 * k + b));
+            }
+        }
+        assert_eq!(g.edge_count(), k * k + k);
+    }
+
+    #[test]
+    fn gb_graph_shortest_paths_forced() {
+        // From any bottom node to top node 2k+i the only length-2 path goes
+        // through middle node k+i.
+        let k = 4;
+        let g = gb_graph(k);
+        let apsp = crate::paths::Apsp::compute(&g);
+        for b in 0..k {
+            for i in 0..k {
+                assert_eq!(apsp.distance(b, 2 * k + i), Some(2));
+                // The only common neighbour is k+i.
+                let common: Vec<_> = g
+                    .neighbors(b)
+                    .iter()
+                    .copied()
+                    .filter(|&w| g.has_edge(w, 2 * k + i))
+                    .collect();
+                assert_eq!(common, vec![k + i]);
+            }
+        }
+    }
+
+    #[test]
+    fn gb_graph_any_handles_all_remainders() {
+        for n in 3..=30usize {
+            let g = gb_graph_any(n);
+            assert_eq!(g.node_count(), n, "n={n}");
+            let k = n.div_ceil(3);
+            // Bottom and middle layers always complete.
+            for b in 0..k {
+                assert_eq!(g.degree(b), k, "bottom {b} at n={n}");
+            }
+            // Surviving top nodes still have their unique middle partner.
+            for t in 2 * k..n {
+                assert_eq!(g.degree(t), 1, "top {t} at n={n}");
+            }
+        }
+        assert_eq!(gb_graph_any(12), gb_graph(4));
+    }
+
+    #[test]
+    fn random_regular_degrees() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for (n, d) in [(20usize, 3usize), (30, 4), (50, 4)] {
+            let g = random_regular(n, d, &mut rng);
+            for u in g.nodes() {
+                assert_eq!(g.degree(u), d, "n={n} d={d} node {u}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn random_regular_rejects_odd_total() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = random_regular(5, 3, &mut rng);
+    }
+
+    #[test]
+    fn watts_strogatz_degree_and_rewiring() {
+        let mut rng = StdRng::seed_from_u64(5);
+        // beta = 0: exact ring lattice.
+        let ring = watts_strogatz(20, 4, 0.0, &mut rng);
+        for u in ring.nodes() {
+            assert_eq!(ring.degree(u), 4, "ring node {u}");
+            assert!(ring.has_edge(u, (u + 1) % 20));
+            assert!(ring.has_edge(u, (u + 2) % 20));
+        }
+        // beta = 1: heavily rewired but edge count preserved.
+        let rewired = watts_strogatz(40, 6, 1.0, &mut rng);
+        assert_eq!(rewired.edge_count(), 40 * 3);
+        let lattice_edges = rewired
+            .edges()
+            .filter(|&(u, v)| {
+                let diff = (v + 40 - u) % 40;
+                diff <= 3 || diff >= 37
+            })
+            .count();
+        assert!(lattice_edges < 40 * 3, "some edges must leave the lattice");
+    }
+
+    #[test]
+    fn barabasi_albert_is_heavy_tailed() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 200;
+        let m = 3;
+        let g = barabasi_albert(n, m, &mut rng);
+        // Every late node attaches exactly m edges: |E| = C(m+1,2) + (n-m-1)·m.
+        assert_eq!(g.edge_count(), m * (m + 1) / 2 + (n - m - 1) * m);
+        assert!(crate::paths::is_connected(&g));
+        // Preferential attachment: the max degree dwarfs the minimum.
+        let max_d = g.nodes().map(|u| g.degree(u)).max().unwrap();
+        let min_d = g.nodes().map(|u| g.degree(u)).min().unwrap();
+        assert!(min_d >= m);
+        assert!(max_d >= 5 * m, "max degree {max_d} not heavy-tailed");
+    }
+
+    #[test]
+    fn random_permutation_is_bijective() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let p = random_permutation(100, &mut rng);
+        ort_bitio::lehmer::validate_permutation(&p).unwrap();
+        // And not the identity with overwhelming probability.
+        assert_ne!(p, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn connected_gnp_is_connected() {
+        let g = connected_gnp(40, 0.2, 5);
+        assert!(crate::paths::is_connected(&g));
+    }
+}

@@ -1,0 +1,595 @@
+use std::error::Error;
+use std::fmt;
+
+use ort_bitio::{BitReader, BitVec, BitWriter, CodeError};
+
+/// Identifier of a node: an index in `0..n`.
+///
+/// The paper labels nodes `1..n`; we use the zero-based equivalent
+/// throughout and convert only when printing.
+pub type NodeId = usize;
+
+/// Error produced by graph construction and the `E(G)` codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A node id was `≥ n`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// The graph order.
+        n: usize,
+    },
+    /// Self loops are not representable in `E(G)` and are rejected.
+    SelfLoop {
+        /// The node with the attempted self loop.
+        node: NodeId,
+    },
+    /// The bit string fed to [`Graph::from_edge_bits`] has the wrong length.
+    BadEncodingLength {
+        /// Expected `n(n-1)/2`.
+        expected: usize,
+        /// Actual length supplied.
+        actual: usize,
+    },
+    /// A bit-level decoding failure.
+    Code(CodeError),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for graph on {n} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self loop at node {node}"),
+            GraphError::BadEncodingLength { expected, actual } => {
+                write!(f, "E(G) encoding has {actual} bits, expected {expected}")
+            }
+            GraphError::Code(e) => write!(f, "encoding error: {e}"),
+        }
+    }
+}
+
+impl Error for GraphError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GraphError::Code(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodeError> for GraphError {
+    fn from(e: CodeError) -> Self {
+        GraphError::Code(e)
+    }
+}
+
+/// An undirected simple graph on nodes `0..n`.
+///
+/// Maintains two synchronized views:
+///
+/// * a **bit matrix** (one [`BitVec`] row per node) for O(1) adjacency
+///   queries — this is also the ground truth for the canonical `E(G)`
+///   encoding of Definition 2;
+/// * **sorted adjacency lists** for O(deg) neighbourhood scans — the order
+///   of `neighbors(u)` defines the paper's "least directly adjacent nodes"
+///   (Lemma 3) and the default port numbering.
+///
+/// # Example
+///
+/// ```
+/// use ort_graphs::Graph;
+///
+/// # fn main() -> Result<(), ort_graphs::GraphError> {
+/// let mut g = Graph::empty(4);
+/// g.add_edge(0, 1)?;
+/// g.add_edge(1, 3)?;
+/// assert!(g.has_edge(1, 0));
+/// assert_eq!(g.neighbors(1), &[0, 3]);
+/// assert_eq!(g.edge_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    n: usize,
+    rows: Vec<BitVec>,
+    adj: Vec<Vec<NodeId>>,
+    edges: usize,
+}
+
+impl Graph {
+    /// Creates an edgeless graph on `n` nodes.
+    #[must_use]
+    pub fn empty(n: usize) -> Self {
+        Graph {
+            n,
+            rows: (0..n).map(|_| BitVec::zeros(n)).collect(),
+            adj: vec![Vec::new(); n],
+            edges: 0,
+        }
+    }
+
+    /// Builds a graph from an edge list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] or [`GraphError::SelfLoop`]
+    /// for invalid edges; duplicate edges are idempotent.
+    pub fn from_edges(
+        n: usize,
+        edges: impl IntoIterator<Item = (NodeId, NodeId)>,
+    ) -> Result<Self, GraphError> {
+        let mut g = Graph::empty(n);
+        for (u, v) in edges {
+            g.add_edge(u, v)?;
+        }
+        Ok(g)
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.n
+    }
+
+    /// Whether nodes `u` and `v` are adjacent. Out-of-range queries return
+    /// `false`; `has_edge(u, u)` is always `false`.
+    #[must_use]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        u < self.n && v < self.n && self.rows[u].get(v) == Some(true)
+    }
+
+    /// The sorted neighbour list of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u ≥ n`.
+    #[must_use]
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.adj[u]
+    }
+
+    /// Degree of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u ≥ n`.
+    #[must_use]
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.adj[u].len()
+    }
+
+    /// The sorted list of non-neighbours of `u` (excluding `u` itself) —
+    /// the paper's set `A₀` in the Theorem 1 construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u ≥ n`.
+    #[must_use]
+    pub fn non_neighbors(&self, u: NodeId) -> Vec<NodeId> {
+        (0..self.n).filter(|&v| v != u && !self.has_edge(u, v)).collect()
+    }
+
+    /// The adjacency bit-row of `u`: bit `v` is set iff `{u,v} ∈ E`. This
+    /// is the "standard interconnection vector" the paper codes in `n − 1`
+    /// bits (we keep the self-bit, always 0, for O(1) indexing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u ≥ n`.
+    #[must_use]
+    pub fn adjacency_row(&self, u: NodeId) -> &BitVec {
+        &self.rows[u]
+    }
+
+    /// The smallest common neighbour of `u` and `v`, if any. On a
+    /// diameter-2 graph this is the canonical length-2 relay node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is `≥ n`.
+    #[must_use]
+    pub fn common_neighbor(&self, u: NodeId, v: NodeId) -> Option<NodeId> {
+        let (mut i, mut j) = (0usize, 0usize);
+        let (a, b) = (&self.adj[u], &self.adj[v]);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return Some(a[i]),
+            }
+        }
+        None
+    }
+
+    /// Adds the edge `{u, v}`. Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] or [`GraphError::SelfLoop`].
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        self.check_pair(u, v)?;
+        if self.has_edge(u, v) {
+            return Ok(());
+        }
+        self.rows[u].set(v, true);
+        self.rows[v].set(u, true);
+        let pos = self.adj[u].binary_search(&v).unwrap_err();
+        self.adj[u].insert(pos, v);
+        let pos = self.adj[v].binary_search(&u).unwrap_err();
+        self.adj[v].insert(pos, u);
+        self.edges += 1;
+        Ok(())
+    }
+
+    /// Removes the edge `{u, v}`. Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] or [`GraphError::SelfLoop`].
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        self.check_pair(u, v)?;
+        if !self.has_edge(u, v) {
+            return Ok(());
+        }
+        self.rows[u].set(v, false);
+        self.rows[v].set(u, false);
+        let pos = self.adj[u].binary_search(&v).expect("edge present");
+        self.adj[u].remove(pos);
+        let pos = self.adj[v].binary_search(&u).expect("edge present");
+        self.adj[v].remove(pos);
+        self.edges -= 1;
+        Ok(())
+    }
+
+    fn check_pair(&self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        if u >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: u, n: self.n });
+        }
+        if v >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: v, n: self.n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        Ok(())
+    }
+
+    /// Iterates over all edges as `(u, v)` with `u < v`, in the canonical
+    /// lexicographic order of Definition 2.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.n).flat_map(move |u| {
+            self.adj[u].iter().copied().filter(move |&v| v > u).map(move |v| (u, v))
+        })
+    }
+
+    /// The complement graph (every non-edge becomes an edge).
+    #[must_use]
+    pub fn complement(&self) -> Graph {
+        let mut g = Graph::empty(self.n);
+        for u in 0..self.n {
+            for v in u + 1..self.n {
+                if !self.has_edge(u, v) {
+                    g.add_edge(u, v).expect("valid pair");
+                }
+            }
+        }
+        g
+    }
+
+    /// Position of edge `{u, v}` in the canonical lexicographic enumeration
+    /// of all `n(n-1)/2` node pairs (Definition 2): pairs are ordered
+    /// `(0,1), (0,2), …, (0,n-1), (1,2), …`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v` or either is `≥ n`.
+    #[must_use]
+    pub fn edge_index(n: usize, u: NodeId, v: NodeId) -> usize {
+        assert!(u != v && u < n && v < n, "invalid pair ({u},{v}) for n={n}");
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        // Pairs starting with 0..a contribute (n-1) + (n-2) + ... + (n-a).
+        a * (2 * n - a - 1) / 2 + (b - a - 1)
+    }
+
+    /// Inverse of [`Graph::edge_index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index ≥ n(n-1)/2`.
+    #[must_use]
+    pub fn index_to_edge(n: usize, index: usize) -> (NodeId, NodeId) {
+        assert!(index < n * (n - 1) / 2, "edge index {index} out of range");
+        let mut a = 0usize;
+        let mut base = 0usize;
+        loop {
+            let row = n - a - 1;
+            if index < base + row {
+                return (a, a + 1 + (index - base));
+            }
+            base += row;
+            a += 1;
+        }
+    }
+
+    /// Number of bits in the canonical encoding of a graph on `n` nodes.
+    #[must_use]
+    pub fn encoding_len(n: usize) -> usize {
+        n * n.saturating_sub(1) / 2
+    }
+
+    /// Encodes the graph as the canonical `n(n-1)/2`-bit string `E(G)` of
+    /// Definition 2: bit `i` is 1 iff the `i`-th pair in lexicographic
+    /// order is an edge.
+    #[must_use]
+    pub fn to_edge_bits(&self) -> BitVec {
+        let mut bits = BitVec::with_capacity(Self::encoding_len(self.n));
+        for u in 0..self.n {
+            for v in u + 1..self.n {
+                bits.push(self.has_edge(u, v));
+            }
+        }
+        bits
+    }
+
+    /// Decodes a graph from its canonical encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::BadEncodingLength`] if `bits` is not exactly
+    /// `n(n-1)/2` bits long.
+    pub fn from_edge_bits(n: usize, bits: &BitVec) -> Result<Self, GraphError> {
+        let expected = Self::encoding_len(n);
+        if bits.len() != expected {
+            return Err(GraphError::BadEncodingLength { expected, actual: bits.len() });
+        }
+        let mut g = Graph::empty(n);
+        let mut i = 0usize;
+        for u in 0..n {
+            for v in u + 1..n {
+                if bits.get(i) == Some(true) {
+                    g.add_edge(u, v)?;
+                }
+                i += 1;
+            }
+        }
+        Ok(g)
+    }
+
+    /// Writes `E(G)` to a bit writer (prefixed by nothing; the length is
+    /// implied by `n`, which the paper always supplies "given n").
+    pub fn write_edge_bits(&self, w: &mut BitWriter) {
+        w.write_bitvec(&self.to_edge_bits());
+    }
+
+    /// Reads `E(G)` for a graph on `n` nodes from a bit reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns a wrapped [`CodeError`] on truncated input.
+    pub fn read_edge_bits(r: &mut BitReader<'_>, n: usize) -> Result<Self, GraphError> {
+        let bits = r.read_bitvec(Self::encoding_len(n))?;
+        Graph::from_edge_bits(n, &bits)
+    }
+
+    /// Returns a graph with nodes renamed by `perm` (node `u` becomes
+    /// `perm[u]`). `perm` must be a permutation of `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..n`.
+    #[must_use]
+    pub fn relabel(&self, perm: &[NodeId]) -> Graph {
+        assert_eq!(perm.len(), self.n, "permutation length mismatch");
+        ort_bitio::lehmer::validate_permutation(perm).expect("valid permutation");
+        let mut g = Graph::empty(self.n);
+        for (u, v) in self.edges() {
+            g.add_edge(perm[u], perm[v]).expect("valid pair");
+        }
+        g
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Graph(n={}, m={})", self.n, self.edges)
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "graph on {} nodes, {} edges", self.n, self.edges)?;
+        for u in 0..self.n {
+            writeln!(f, "  {u}: {:?}", self.adj[u])?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 0);
+        assert!(!g.has_edge(0, 1));
+        assert!(g.neighbors(3).is_empty());
+    }
+
+    #[test]
+    fn add_remove_edges() {
+        let mut g = Graph::empty(4);
+        g.add_edge(0, 2).unwrap();
+        g.add_edge(2, 0).unwrap(); // idempotent, reversed
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(0, 2) && g.has_edge(2, 0));
+        assert_eq!(g.neighbors(2), &[0]);
+        g.remove_edge(0, 2).unwrap();
+        assert_eq!(g.edge_count(), 0);
+        assert!(!g.has_edge(0, 2));
+        g.remove_edge(0, 2).unwrap(); // idempotent
+    }
+
+    #[test]
+    fn invalid_edges_rejected() {
+        let mut g = Graph::empty(3);
+        assert!(matches!(g.add_edge(0, 3), Err(GraphError::NodeOutOfRange { .. })));
+        assert!(matches!(g.add_edge(1, 1), Err(GraphError::SelfLoop { .. })));
+    }
+
+    #[test]
+    fn neighbors_stay_sorted() {
+        let mut g = Graph::empty(6);
+        for v in [4, 1, 5, 2] {
+            g.add_edge(3, v).unwrap();
+        }
+        assert_eq!(g.neighbors(3), &[1, 2, 4, 5]);
+        assert_eq!(g.degree(3), 4);
+    }
+
+    #[test]
+    fn non_neighbors_complement_neighbors() {
+        let g = Graph::from_edges(5, [(0, 1), (0, 3)]).unwrap();
+        assert_eq!(g.non_neighbors(0), vec![2, 4]);
+        assert_eq!(g.non_neighbors(2), vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn edge_iteration_is_lexicographic() {
+        let g = Graph::from_edges(4, [(2, 3), (0, 1), (1, 3), (0, 2)]).unwrap();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn edge_index_bijection() {
+        for n in [2usize, 3, 5, 10, 33] {
+            let mut seen = vec![false; n * (n - 1) / 2];
+            for u in 0..n {
+                for v in u + 1..n {
+                    let i = Graph::edge_index(n, u, v);
+                    assert_eq!(Graph::edge_index(n, v, u), i, "symmetric");
+                    assert!(!seen[i], "duplicate index {i}");
+                    seen[i] = true;
+                    assert_eq!(Graph::index_to_edge(n, i), (u, v));
+                }
+            }
+            assert!(seen.iter().all(|&b| b));
+        }
+    }
+
+    #[test]
+    fn edge_index_order_matches_encoding_order() {
+        // Definition 2: bit i of E(G) corresponds to pair index i.
+        let g = Graph::from_edges(5, [(0, 4), (2, 3)]).unwrap();
+        let bits = g.to_edge_bits();
+        for u in 0..5 {
+            for v in u + 1..5 {
+                assert_eq!(
+                    bits.get(Graph::edge_index(5, u, v)),
+                    Some(g.has_edge(u, v)),
+                    "pair ({u},{v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn edge_bits_roundtrip() {
+        let g = Graph::from_edges(7, [(0, 1), (1, 2), (2, 6), (3, 5), (0, 6)]).unwrap();
+        let bits = g.to_edge_bits();
+        assert_eq!(bits.len(), Graph::encoding_len(7));
+        let g2 = Graph::from_edge_bits(7, &bits).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn edge_bits_wrong_length_rejected() {
+        let bits = BitVec::zeros(5);
+        assert!(matches!(
+            Graph::from_edge_bits(4, &bits),
+            Err(GraphError::BadEncodingLength { expected: 6, actual: 5 })
+        ));
+    }
+
+    #[test]
+    fn edge_bits_stream_roundtrip() {
+        let g = Graph::from_edges(6, [(0, 5), (1, 4), (2, 3)]).unwrap();
+        let mut w = BitWriter::new();
+        w.write_bit(true); // leading noise
+        g.write_edge_bits(&mut w);
+        w.write_bit(false); // trailing noise
+        let bits = w.finish();
+        let mut r = BitReader::new(&bits);
+        assert!(r.read_bit().unwrap());
+        let g2 = Graph::read_edge_bits(&mut r, 6).unwrap();
+        assert_eq!(g, g2);
+        assert!(!r.read_bit().unwrap());
+    }
+
+    #[test]
+    fn complement_involution() {
+        let g = Graph::from_edges(6, [(0, 1), (2, 5), (3, 4), (1, 4)]).unwrap();
+        assert_eq!(g.complement().complement(), g);
+        let total = 6 * 5 / 2;
+        assert_eq!(g.complement().edge_count(), total - g.edge_count());
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap(); // path
+        let perm = vec![3, 1, 0, 2];
+        let h = g.relabel(&perm);
+        assert_eq!(h.edge_count(), 3);
+        for (u, v) in g.edges() {
+            assert!(h.has_edge(perm[u], perm[v]));
+        }
+        // Degrees are permuted, multiset preserved.
+        let mut dg: Vec<_> = g.nodes().map(|u| g.degree(u)).collect();
+        let mut dh: Vec<_> = h.nodes().map(|u| h.degree(u)).collect();
+        dg.sort_unstable();
+        dh.sort_unstable();
+        assert_eq!(dg, dh);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn relabel_rejects_non_permutation() {
+        let g = Graph::empty(3);
+        let _ = g.relabel(&[0, 0, 1]);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let g = Graph::from_edges(3, [(0, 1)]).unwrap();
+        assert_eq!(format!("{g:?}"), "Graph(n=3, m=1)");
+        assert!(g.to_string().contains("3 nodes"));
+    }
+
+    #[test]
+    fn single_node_and_empty_encodings() {
+        for n in [0usize, 1] {
+            let g = Graph::empty(n);
+            let bits = g.to_edge_bits();
+            assert_eq!(bits.len(), 0);
+            assert_eq!(Graph::from_edge_bits(n, &bits).unwrap(), g);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! The Lemma 1 codec: degree-based compression.
+//!
+//! Lemma 1 bounds degree deviations on random graphs by describing `G` as:
+//! the identity of a node `u`, its degree `d`, the *index of its
+//! interconnection pattern* among all `(n−1)`-bit strings of weight `d`
+//! (enumerative coding), and `E(G)` with `u`'s row deleted. The further
+//! `d` strays from `(n−1)/2`, the smaller `log C(n−1, d)` gets and the more
+//! the codec saves — so on a random graph, whose `E(G)` cannot be
+//! compressed, no degree can stray far.
+
+use ort_bitio::{enumerative, BitReader, BitWriter, BitVec};
+use ort_graphs::{Graph, NodeId};
+
+use super::{
+    node_width, positions_of_node, read_node, read_remainder, write_node, write_remainder,
+    CodecError, CodecOutcome,
+};
+
+/// Encodes `g` through the degree of node `u`.
+///
+/// Layout: `u` (`log n` bits) · `d` (`log n` bits) · enumerative rank of
+/// `u`'s neighbour set (`⌈log C(n−1, d)⌉` bits) · `E(G)` minus `u`'s row.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] if `u` is out of range.
+pub fn encode(g: &Graph, u: NodeId) -> Result<BitVec, CodecError> {
+    let n = g.node_count();
+    if u >= n {
+        return Err(CodecError::PreconditionViolated { reason: "node out of range" });
+    }
+    let mut w = BitWriter::new();
+    write_node(&mut w, n, u)?;
+    let d = g.degree(u);
+    w.write_bits(d as u64, node_width(n))?;
+    // Neighbour set as a subset of the ground set {0..n-1} \ {u},
+    // compacted by skipping u.
+    let compact: Vec<usize> =
+        g.neighbors(u).iter().map(|&v| if v > u { v - 1 } else { v }).collect();
+    enumerative::encode_subset(&mut w, n - 1, &compact)?;
+    write_remainder(&mut w, g, &positions_of_node(n, u));
+    Ok(w.finish())
+}
+
+/// Decodes a graph on `n` nodes from a [`encode`] description.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] on malformed input.
+pub fn decode(bits: &BitVec, n: usize) -> Result<Graph, CodecError> {
+    let mut r = BitReader::new(bits);
+    let u = read_node(&mut r, n)?;
+    let d = r.read_bits(node_width(n))? as usize;
+    let compact = enumerative::decode_subset(&mut r, n - 1, d)?;
+    let neighbors: Vec<NodeId> =
+        compact.into_iter().map(|v| if v >= u { v + 1 } else { v }).collect();
+    let row: std::collections::HashSet<NodeId> = neighbors.into_iter().collect();
+    let deleted = positions_of_node(n, u);
+    let full = read_remainder(&mut r, n, &deleted, |i| {
+        let (a, b) = Graph::index_to_edge(n, i);
+        let other = if a == u { b } else { a };
+        row.contains(&other)
+    })?;
+    Ok(Graph::from_edge_bits(n, &full)?)
+}
+
+/// Runs the codec and reports description length vs. the `n(n−1)/2`
+/// baseline.
+///
+/// # Errors
+///
+/// Propagates [`encode`] errors.
+pub fn outcome(g: &Graph, u: NodeId) -> Result<CodecOutcome, CodecError> {
+    let bits = encode(g, u)?;
+    Ok(CodecOutcome {
+        description_bits: bits.len(),
+        baseline_bits: Graph::encoding_len(g.node_count()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ort_graphs::generators;
+
+    #[test]
+    fn roundtrip_on_random_graphs() {
+        for seed in 0..5u64 {
+            let g = generators::gnp_half(30, seed);
+            for u in [0usize, 7, 29] {
+                let bits = encode(&g, u).unwrap();
+                assert_eq!(decode(&bits, 30).unwrap(), g, "seed {seed} u {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_on_extreme_degrees() {
+        // Star: centre has degree n-1, leaves degree 1.
+        let g = generators::star(20);
+        for u in [0usize, 5] {
+            let bits = encode(&g, u).unwrap();
+            assert_eq!(decode(&bits, 20).unwrap(), g);
+        }
+        // Empty-ish and complete graphs.
+        let g = generators::complete(10);
+        let bits = encode(&g, 3).unwrap();
+        assert_eq!(decode(&bits, 10).unwrap(), g);
+        let g = Graph::empty(10);
+        let bits = encode(&g, 3).unwrap();
+        assert_eq!(decode(&bits, 10).unwrap(), g);
+    }
+
+    #[test]
+    fn extreme_degree_saves_many_bits() {
+        // Star centre: C(n-1, n-1) = 1 → the whole row (n-1 bits) collapses
+        // to the two log n fields.
+        let n = 200;
+        let g = generators::star(n);
+        let out = outcome(&g, 0).unwrap();
+        // Savings ≈ (n-1) - 2 log n.
+        assert!(out.savings() > (n as i64 - 1) - 2 * 8 - 4, "savings {}", out.savings());
+    }
+
+    #[test]
+    fn typical_degree_saves_almost_nothing() {
+        // On a G(n,1/2) node with near-half degree, log C(n-1,d) ≈ n-1-O(log n),
+        // so the codec roughly breaks even (overhead ≈ 2 log n + small).
+        let n = 200;
+        let g = generators::gnp_half(n, 1);
+        let out = outcome(&g, 17).unwrap();
+        let logn = 8i64;
+        assert!(out.savings() < 6 * logn, "savings {}", out.savings());
+        assert!(out.savings() > -4 * logn, "overhead too large: {}", out.savings());
+    }
+
+    #[test]
+    fn savings_formula_exact() {
+        // description = 2·node_width + subset_width + L - (n-1).
+        let n = 50;
+        let g = generators::gnp_half(n, 2);
+        let u = 11;
+        let bits = encode(&g, u).unwrap();
+        let expect = 2 * node_width(n) as usize
+            + enumerative::subset_code_width(n - 1, g.degree(u))
+            + Graph::encoding_len(n)
+            - (n - 1);
+        assert_eq!(bits.len(), expect);
+    }
+
+    #[test]
+    fn rejects_out_of_range_node() {
+        let g = Graph::empty(5);
+        assert!(matches!(
+            encode(&g, 5),
+            Err(CodecError::PreconditionViolated { .. })
+        ));
+    }
+}

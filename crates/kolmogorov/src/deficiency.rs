@@ -1,0 +1,457 @@
+//! Computable upper bounds on Kolmogorov complexity via real compressors.
+//!
+//! `C(x | n)` is bounded above by the output length of any lossless
+//! compressor whose decompressor is told `n = |x|`. This module provides
+//! three such compressors spanning the structure classes that show up in
+//! graph encodings, plus a [`CompressorSuite`] that takes the minimum and
+//! charges a 2-bit model selector for honesty.
+
+use ort_bitio::{codes, enumerative, BitReader, BitVec, BitWriter, CodeError, Nat};
+use ort_graphs::Graph;
+
+/// A lossless bit-string compressor whose decompressor is conditioned on
+/// the original length (matching the paper's `C(E(G) | n)`).
+pub trait Compressor {
+    /// Short identifier used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Compresses `bits`. The output must be decompressible by
+    /// [`Compressor::decompress`] given the original length.
+    fn compress(&self, bits: &BitVec) -> BitVec;
+
+    /// Inverts [`Compressor::compress`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodeError`] if `data` is not a valid compression of any
+    /// string of length `orig_len`.
+    fn decompress(&self, data: &BitVec, orig_len: usize) -> Result<BitVec, CodeError>;
+}
+
+/// Run-length coding: the first bit literally, then Elias γ run lengths.
+/// Captures long constant stretches (complete graphs, bipartite blocks).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunLength;
+
+impl Compressor for RunLength {
+    fn name(&self) -> &'static str {
+        "run-length"
+    }
+
+    fn compress(&self, bits: &BitVec) -> BitVec {
+        let mut w = BitWriter::new();
+        if bits.is_empty() {
+            return w.finish();
+        }
+        let mut cur = bits.get(0).expect("nonempty");
+        w.write_bit(cur);
+        let mut run = 0u64;
+        for b in bits.iter() {
+            if b == cur {
+                run += 1;
+            } else {
+                codes::write_elias_gamma(&mut w, run).expect("run >= 1");
+                cur = b;
+                run = 1;
+            }
+        }
+        codes::write_elias_gamma(&mut w, run).expect("run >= 1");
+        w.finish()
+    }
+
+    fn decompress(&self, data: &BitVec, orig_len: usize) -> Result<BitVec, CodeError> {
+        let mut out = BitVec::with_capacity(orig_len);
+        if orig_len == 0 {
+            return Ok(out);
+        }
+        let mut r = BitReader::new(data);
+        let mut cur = r.read_bit()?;
+        while out.len() < orig_len {
+            let run = codes::read_elias_gamma(&mut r)?;
+            for _ in 0..run {
+                out.push(cur);
+            }
+            cur = !cur;
+        }
+        if out.len() != orig_len {
+            return Err(CodeError::InvalidCode { code: "run-length", reason: "run overshoot" });
+        }
+        Ok(out)
+    }
+}
+
+/// Order-0 enumerative coding: the number of ones `k` (Elias δ, self-
+/// delimiting), then the rank of the one-positions among all `k`-subsets.
+/// This achieves the order-0 entropy `≈ n·H(k/n)` exactly — it is the
+/// compressor behind the paper's Chernoff-tail arguments (Lemma 1, Claim 1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Order0;
+
+impl Compressor for Order0 {
+    fn name(&self) -> &'static str {
+        "order0-enumerative"
+    }
+
+    fn compress(&self, bits: &BitVec) -> BitVec {
+        let n = bits.len();
+        let ones: Vec<usize> = (0..n).filter(|&i| bits.get(i) == Some(true)).collect();
+        let mut w = BitWriter::new();
+        codes::write_elias_delta(&mut w, ones.len() as u64 + 1).expect("k+1 >= 1");
+        enumerative::encode_subset(&mut w, n, &ones).expect("valid subset");
+        w.finish()
+    }
+
+    fn decompress(&self, data: &BitVec, orig_len: usize) -> Result<BitVec, CodeError> {
+        let mut r = BitReader::new(data);
+        let k = codes::read_elias_delta(&mut r)? - 1;
+        let k = usize::try_from(k).map_err(|_| CodeError::Overflow { what: "order0 k" })?;
+        if k > orig_len {
+            return Err(CodeError::InvalidCode { code: "order0", reason: "k exceeds length" });
+        }
+        let ones = enumerative::decode_subset(&mut r, orig_len, k)?;
+        let mut out = BitVec::zeros(orig_len);
+        for i in ones {
+            out.set(i, true);
+        }
+        Ok(out)
+    }
+}
+
+/// LZ78 over bits: phrases grow a dictionary; each token is a dictionary
+/// index (minimal fixed width) plus one literal bit. Captures repeated
+/// substructure (grids, `G_B`'s repeated rows).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Lz78;
+
+impl Compressor for Lz78 {
+    fn name(&self) -> &'static str {
+        "lz78"
+    }
+
+    fn compress(&self, bits: &BitVec) -> BitVec {
+        // Dictionary maps (phrase prefix id, bit) -> id; id 0 is the empty
+        // phrase. We store it as a growable trie in a Vec: children[id] = [Option; 2].
+        let mut children: Vec<[Option<usize>; 2]> = vec![[None; 2]];
+        let mut w = BitWriter::new();
+        let mut cur = 0usize; // current phrase node
+        for b in bits.iter() {
+            let idx = usize::from(b);
+            match children[cur][idx] {
+                Some(next) => cur = next,
+                None => {
+                    // Emit (cur, b), register new phrase.
+                    let width = ort_bitio::bits_to_index(children.len() as u64);
+                    w.write_bits(cur as u64, width).expect("index fits width");
+                    w.write_bit(b);
+                    children[cur][idx] = Some(children.len());
+                    children.push([None; 2]);
+                    cur = 0;
+                }
+            }
+        }
+        // Flush a dangling phrase prefix (cur != 0): emit its id with no
+        // literal bit; the decompressor knows the total length and stops.
+        if cur != 0 {
+            let width = ort_bitio::bits_to_index(children.len() as u64);
+            w.write_bits(cur as u64, width).expect("index fits width");
+        }
+        w.finish()
+    }
+
+    fn decompress(&self, data: &BitVec, orig_len: usize) -> Result<BitVec, CodeError> {
+        // phrases[id] = (parent, bit); phrase 0 is empty.
+        let mut phrases: Vec<(usize, bool)> = vec![(0, false)];
+        let mut out = BitVec::with_capacity(orig_len);
+        let mut r = BitReader::new(data);
+        let emit = |phrases: &[(usize, bool)], id: usize, out: &mut BitVec| {
+            let mut stack = Vec::new();
+            let mut cur = id;
+            while cur != 0 {
+                let (parent, bit) = phrases[cur];
+                stack.push(bit);
+                cur = parent;
+            }
+            while let Some(b) = stack.pop() {
+                out.push(b);
+            }
+        };
+        while out.len() < orig_len {
+            let width = ort_bitio::bits_to_index(phrases.len() as u64);
+            let id = r.read_bits(width)? as usize;
+            if id >= phrases.len() {
+                return Err(CodeError::InvalidCode { code: "lz78", reason: "phrase id range" });
+            }
+            emit(&phrases, id, &mut out);
+            if out.len() >= orig_len {
+                break; // dangling final phrase, no literal bit follows
+            }
+            let b = r.read_bit()?;
+            out.push(b);
+            phrases.push((id, b));
+        }
+        if out.len() != orig_len {
+            return Err(CodeError::InvalidCode { code: "lz78", reason: "length mismatch" });
+        }
+        out.truncate(orig_len);
+        Ok(out)
+    }
+}
+
+/// A suite of compressors; the complexity estimate is the best output
+/// length plus a selector charge of `⌈log₂ (suite size + 1)⌉` bits (the
+/// `+1` reserves the "store raw" option).
+pub struct CompressorSuite {
+    compressors: Vec<Box<dyn Compressor>>,
+}
+
+impl CompressorSuite {
+    /// The standard suite: run-length, order-0 enumerative, LZ78, and an
+    /// order-8 adaptive arithmetic coder.
+    #[must_use]
+    pub fn standard() -> Self {
+        CompressorSuite {
+            compressors: vec![
+                Box::new(RunLength),
+                Box::new(Order0),
+                Box::new(Lz78),
+                Box::new(crate::arithmetic::ContextCoder::order(8)),
+            ],
+        }
+    }
+
+    /// Builds a custom suite.
+    #[must_use]
+    pub fn new(compressors: Vec<Box<dyn Compressor>>) -> Self {
+        CompressorSuite { compressors }
+    }
+
+    /// Bits charged for saying which compressor was used (raw included).
+    #[must_use]
+    pub fn selector_bits(&self) -> usize {
+        ort_bitio::bits_to_index(self.compressors.len() as u64 + 1) as usize
+    }
+
+    /// The smallest compressed size across the suite, *without* the
+    /// selector charge, capped at the raw length.
+    #[must_use]
+    pub fn best_size(&self, bits: &BitVec) -> usize {
+        self.compressors
+            .iter()
+            .map(|c| c.compress(bits).len())
+            .min()
+            .unwrap_or(usize::MAX)
+            .min(bits.len())
+    }
+
+    /// The name of the compressor achieving [`CompressorSuite::best_size`]
+    /// (or `"raw"`).
+    #[must_use]
+    pub fn best_name(&self, bits: &BitVec) -> &'static str {
+        let mut best = ("raw", bits.len());
+        for c in &self.compressors {
+            let len = c.compress(bits).len();
+            if len < best.1 {
+                best = (c.name(), len);
+            }
+        }
+        best.0
+    }
+
+    /// Computable upper bound on `C(bits | len)`: best size plus selector.
+    #[must_use]
+    pub fn complexity_upper_bound(&self, bits: &BitVec) -> usize {
+        self.best_size(bits) + self.selector_bits()
+    }
+
+    /// Randomness deficiency estimate of a graph:
+    /// `n(n−1)/2 − complexity_upper_bound(E(G))`, clamped at ≥ −selector.
+    /// Near 0 for uniform random graphs; large for structured graphs.
+    #[must_use]
+    pub fn graph_deficiency(&self, g: &Graph) -> i64 {
+        let bits = g.to_edge_bits();
+        bits.len() as i64 - self.complexity_upper_bound(&bits) as i64
+    }
+}
+
+impl std::fmt::Debug for CompressorSuite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<_> = self.compressors.iter().map(|c| c.name()).collect();
+        write!(f, "CompressorSuite({names:?})")
+    }
+}
+
+/// Compresses the one-positions of `bits` enumeratively and returns the
+/// exact order-0 information content `⌈log₂ C(n,k)⌉` in bits — the quantity
+/// `log m` in the paper's Eq. (2).
+#[must_use]
+pub fn enumerative_information(bits: &BitVec) -> usize {
+    let k = bits.count_ones();
+    enumerative::subset_code_width(bits.len(), k)
+}
+
+/// The binomial tail bound of Eq. (2)/(3): `log₂` of the number of
+/// `(n−1)`-bit strings whose weight deviates from `(n−1)/2` by at least
+/// `k`, computed exactly.
+#[must_use]
+pub fn log2_binomial_tail(n: usize, k: usize) -> f64 {
+    let half = (n as f64 - 1.0) / 2.0;
+    let mut total = Nat::zero();
+    for d in 0..n {
+        if (d as f64 - half).abs() >= k as f64 {
+            total.add_assign(&enumerative::binomial(n as u64 - 1, d as u64));
+        }
+    }
+    if total.is_zero() {
+        return f64::NEG_INFINITY;
+    }
+    // log2 via bit length with a 20-bit mantissa refinement.
+    let bl = total.bit_len();
+    let mut mantissa = 0u64;
+    for i in 0..20.min(bl) {
+        mantissa = (mantissa << 1) | u64::from(total.bit(bl - 1 - i));
+    }
+    let frac = mantissa as f64 / (1u64 << (20.min(bl) - 1)) as f64;
+    (bl as f64 - 1.0) + frac.log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ort_graphs::generators;
+
+    fn roundtrip(c: &dyn Compressor, bits: &BitVec) {
+        let data = c.compress(bits);
+        let back = c.decompress(&data, bits.len()).unwrap();
+        assert_eq!(&back, bits, "{} roundtrip failed", c.name());
+    }
+
+    #[test]
+    fn all_compressors_roundtrip_varied_inputs() {
+        let inputs = vec![
+            BitVec::new(),
+            BitVec::from_bit_str("0"),
+            BitVec::from_bit_str("1"),
+            BitVec::from_bools(&vec![true; 300]),
+            BitVec::from_bools(&vec![false; 300]),
+            (0..300).map(|i| i % 2 == 0).collect::<BitVec>(),
+            (0..500).map(|i| (i * i) % 7 < 3).collect::<BitVec>(),
+            generators::gnp_half(40, 9).to_edge_bits(),
+            generators::path(40).to_edge_bits(),
+            generators::gb_graph(12).to_edge_bits(),
+        ];
+        for c in [&RunLength as &dyn Compressor, &Order0, &Lz78] {
+            for bits in &inputs {
+                roundtrip(c, bits);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_strings_collapse_under_rle() {
+        let ones = BitVec::from_bools(&vec![true; 10_000]);
+        let out = RunLength.compress(&ones);
+        assert!(out.len() < 40, "RLE of constant string: {} bits", out.len());
+    }
+
+    #[test]
+    fn order0_achieves_entropy_on_sparse_strings() {
+        // 10 ones in 1000 bits: H ≈ 10·log2(1000/10) + O(k) ≈ 80 bits.
+        let mut bits = BitVec::zeros(1000);
+        for i in 0..10 {
+            bits.set(i * 97, true);
+        }
+        let out = Order0.compress(&bits);
+        assert!(out.len() < 120, "order0: {} bits", out.len());
+    }
+
+    #[test]
+    fn lz78_compresses_repeated_structure() {
+        // Period-8 string of length 4096.
+        let bits: BitVec = (0..4096).map(|i| (i % 8) < 3).collect();
+        let out = Lz78.compress(&bits);
+        assert!(out.len() < bits.len() / 2, "lz78: {} bits", out.len());
+        // Compression ratio improves with length (phrase reuse compounds).
+        let long: BitVec = (0..65536).map(|i| (i % 8) < 3).collect();
+        let out_long = Lz78.compress(&long);
+        assert!(
+            (out_long.len() as f64) / (long.len() as f64)
+                < (out.len() as f64) / (bits.len() as f64)
+        );
+    }
+
+    #[test]
+    fn random_graphs_have_near_zero_deficiency() {
+        let suite = CompressorSuite::standard();
+        for seed in 0..5u64 {
+            let g = generators::gnp_half(64, seed);
+            let d = suite.graph_deficiency(&g);
+            // Deficiency can be mildly positive if edge density strays from
+            // 1/2 (order-0 captures that), but must be small.
+            assert!(d < 100, "seed {seed}: deficiency {d}");
+        }
+    }
+
+    #[test]
+    fn structured_graphs_have_large_deficiency() {
+        let suite = CompressorSuite::standard();
+        let n = 64;
+        let baseline = (n * (n - 1) / 2) as i64;
+        for (g, name) in [
+            (generators::path(n), "path"),
+            (generators::complete(n), "complete"),
+            (generators::star(n), "star"),
+            (generators::gb_graph(n / 3), "gb"),
+            (generators::complete_bipartite(n / 2, n / 2), "bipartite"),
+        ] {
+            let d = suite.graph_deficiency(&g);
+            assert!(d > baseline / 2, "{name}: deficiency {d} of {baseline}");
+        }
+    }
+
+    #[test]
+    fn best_name_reports_a_winner() {
+        let suite = CompressorSuite::standard();
+        let ones = BitVec::from_bools(&vec![true; 1000]);
+        // Both RLE and order-0 collapse a constant string; either may win,
+        // but "raw" and lz78 must not.
+        let name = suite.best_name(&ones);
+        assert!(
+            ["run-length", "order0-enumerative", "arithmetic-ctx"].contains(&name),
+            "{name}"
+        );
+        assert!(suite.best_size(&ones) < 40);
+        // 4 compressors + "raw" → 3 selector bits.
+        assert_eq!(suite.selector_bits(), 3);
+    }
+
+    #[test]
+    fn enumerative_information_matches_density() {
+        // Half-density: ≈ n bits; sparse: much less.
+        let n = 512;
+        let half: BitVec = (0..n).map(|i| i % 2 == 0).collect();
+        let info = enumerative_information(&half);
+        assert!(info > n - 10 * 10 && info < n, "half-density info {info}");
+        let mut sparse = BitVec::zeros(n);
+        sparse.set(7, true);
+        assert!(enumerative_information(&sparse) <= 9);
+    }
+
+    #[test]
+    fn binomial_tail_is_monotone_and_matches_chernoff_shape() {
+        let n = 201;
+        let t0 = log2_binomial_tail(n, 0); // everything: 2^{n-1}
+        assert!((t0 - (n as f64 - 1.0)).abs() < 0.01, "t0 = {t0}");
+        let t10 = log2_binomial_tail(n, 10);
+        let t40 = log2_binomial_tail(n, 40);
+        let t80 = log2_binomial_tail(n, 80);
+        assert!(t0 >= t10 && t10 > t40 && t40 > t80, "{t0} {t10} {t40} {t80}");
+        // Chernoff: log2 tail ≤ (n-1) - k²·log2(e)/(n-1) + 1.
+        for k in [10usize, 40, 80] {
+            let bound = (n as f64 - 1.0) - (k * k) as f64 * std::f64::consts::LOG2_E
+                / (n as f64 - 1.0)
+                + 1.0;
+            let t = log2_binomial_tail(n, k);
+            assert!(t <= bound + 1.0, "k={k}: {t} vs {bound}");
+        }
+    }
+}

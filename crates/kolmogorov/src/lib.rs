@@ -1,0 +1,46 @@
+//! Incompressibility toolkit for the *Optimal Routing Tables* reproduction.
+//!
+//! The paper's lower bounds all follow one pattern: *if a routing function
+//! were small, the random graph would be compressible*. Kolmogorov
+//! complexity itself is uncomputable, but both halves of that argument are
+//! executable:
+//!
+//! * [`deficiency`] — computable **upper bounds** on `C(E(G) | n)` via a
+//!   suite of real compressors ([`deficiency::CompressorSuite`]). A graph's
+//!   *randomness deficiency estimate* is how far below `n(n−1)/2` the best
+//!   compressor gets; `G(n, 1/2)` samples sit at ≈ 0, while structured
+//!   graphs (paths, stars, `G_B`) compress massively.
+//! * [`codecs`] — the paper's proofs, run as real encoder/decoder pairs:
+//!   - [`codecs::lemma1`] compresses `E(G)` given a node of deviant degree;
+//!   - [`codecs::lemma2`] compresses `E(G)` given a pair at distance > 2;
+//!   - [`codecs::lemma3`] compresses `E(G)` given a node whose logarithmic
+//!     neighbour prefix fails to dominate;
+//!   - [`codecs::theorem6`] compresses `E(G)` given one node's shortest-path
+//!     routing function (the heart of the `n²/2` lower bound);
+//!   - [`codecs::theorem10`] compresses `E(G)` given one node's
+//!     full-information routing function (the `n³/4` lower bound).
+//!
+//!   Every codec round-trips bit-exactly, and its measured length realizes
+//!   the counting in the corresponding proof.
+//!
+//! # Example
+//!
+//! ```
+//! use ort_graphs::generators;
+//! use ort_kolmogorov::deficiency::CompressorSuite;
+//!
+//! let suite = CompressorSuite::standard();
+//! // A uniform random graph barely compresses…
+//! let random = generators::gnp_half(64, 1).to_edge_bits();
+//! assert!(suite.best_size(&random) + 64 > random.len());
+//! // …while a path graph collapses.
+//! let path = generators::path(64).to_edge_bits();
+//! assert!(suite.best_size(&path) < path.len() / 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arithmetic;
+pub mod codecs;
+pub mod deficiency;

@@ -1,0 +1,27 @@
+//! The paper's lower bounds, run as experiments.
+//!
+//! Each module turns one incompressibility/counting argument into
+//! executable machinery:
+//!
+//! * [`theorem6`] — glue between a real scheme's routing-function bits and
+//!   the `ort-kolmogorov` Theorem 6 codec: on a random graph, the codec's
+//!   savings are bounded by the graph's (near-zero) compressibility, which
+//!   forces `|F(u)| ≥ #non-neighbours − O(log n) ≈ n/2` bits.
+//! * [`theorem7`] — Claim 3 of Theorem 7 as a codec: when neighbours are
+//!   *unknown* (models IA/IB), a node's interconnection pattern can be
+//!   reconstructed from its routing function plus ≤ `n − d` extra bits
+//!   (Claim 2's inequality), so routing functions collectively carry
+//!   `Ω(n²)` bits.
+//! * [`theorem8`] — with fixed adversarial ports and neighbours unknown
+//!   (IA ∧ α), a correct routing function *determines* the node's entire
+//!   port permutation, worth `log d! ≈ (n/2)·log(n/2)` bits.
+//! * [`theorem9`] — the worst-case `G_B` construction (Figure 1): any
+//!   scheme with stretch < 2 lets each bottom node's routing function be
+//!   decoded back into the adversarial top-layer permutation, worth
+//!   `log (n/3)! ≈ (n/3)·log(n/3)` bits per bottom node.
+
+pub mod theorem10;
+pub mod theorem6;
+pub mod theorem7;
+pub mod theorem8;
+pub mod theorem9;

@@ -1,0 +1,173 @@
+//! The nine routing models of the paper (Section 1).
+//!
+//! Two orthogonal axes define what a routing scheme gets for free and what
+//! it may rearrange before encoding. Every scheme in [`crate::schemes`]
+//! declares which models it is valid in, and the size accounting in
+//! [`crate::scheme::RoutingScheme::total_size_bits`] follows the model
+//! (γ charges label bits; α/β do not).
+
+use std::fmt;
+
+/// The knowledge axis: what a node knows about its incident edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Knowledge {
+    /// **IA** — ports are fixed (possibly adversarially) and nodes do not
+    /// know which neighbour sits behind which port.
+    PortsFixed,
+    /// **IB** — nodes do not know their neighbours, but the scheme may
+    /// re-assign ports before encoding (the canonical choice is
+    /// sorted-by-neighbour, which makes the port map recoverable from the
+    /// neighbour set).
+    PortsFree,
+    /// **II** — nodes know the labels of their neighbours and over which
+    /// edge each is reached; this information is free.
+    NeighborsKnown,
+}
+
+impl Knowledge {
+    /// The paper's name for this option.
+    #[must_use]
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            Knowledge::PortsFixed => "IA",
+            Knowledge::PortsFree => "IB",
+            Knowledge::NeighborsKnown => "II",
+        }
+    }
+}
+
+impl fmt::Display for Knowledge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+/// The label axis: what the scheme may do to node labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relabeling {
+    /// **α** — labels are fixed; the scheme must route on the given
+    /// `{0..n-1}` labels.
+    None,
+    /// **β** — the scheme may permute the labels within `{0..n-1}`.
+    Permutation,
+    /// **γ** — the scheme may assign arbitrary bit-string labels, whose
+    /// lengths are added to the space requirement.
+    Free,
+}
+
+impl Relabeling {
+    /// The paper's name for this option.
+    #[must_use]
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            Relabeling::None => "α",
+            Relabeling::Permutation => "β",
+            Relabeling::Free => "γ",
+        }
+    }
+}
+
+impl fmt::Display for Relabeling {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+/// One of the paper's nine models: a point on both axes.
+///
+/// # Example
+///
+/// ```
+/// use ort_routing::model::{Knowledge, Model, Relabeling};
+///
+/// let m = Model::new(Knowledge::NeighborsKnown, Relabeling::None);
+/// assert_eq!(m.to_string(), "II∧α");
+/// assert!(m.neighbors_known());
+/// assert!(!m.charges_labels());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Model {
+    /// Knowledge option.
+    pub knowledge: Knowledge,
+    /// Relabelling option.
+    pub relabeling: Relabeling,
+}
+
+impl Model {
+    /// Combines the two axes.
+    #[must_use]
+    pub fn new(knowledge: Knowledge, relabeling: Relabeling) -> Self {
+        Model { knowledge, relabeling }
+    }
+
+    /// All nine models, in the paper's table order.
+    #[must_use]
+    pub fn all() -> [Model; 9] {
+        let ks = [Knowledge::PortsFixed, Knowledge::PortsFree, Knowledge::NeighborsKnown];
+        let rs = [Relabeling::None, Relabeling::Permutation, Relabeling::Free];
+        let mut out = [Model::new(ks[0], rs[0]); 9];
+        let mut i = 0;
+        for k in ks {
+            for r in rs {
+                out[i] = Model::new(k, r);
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Whether routers receive their neighbours' labels for free (model II).
+    #[must_use]
+    pub fn neighbors_known(self) -> bool {
+        self.knowledge == Knowledge::NeighborsKnown
+    }
+
+    /// Whether the scheme may choose the port assignment (IB or II — in II
+    /// the assignment is irrelevant because the port map is known anyway).
+    #[must_use]
+    pub fn ports_free(self) -> bool {
+        self.knowledge != Knowledge::PortsFixed
+    }
+
+    /// Whether label bits are added to the space requirement (model γ).
+    #[must_use]
+    pub fn charges_labels(self) -> bool {
+        self.relabeling == Relabeling::Free
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}∧{}", self.knowledge, self.relabeling)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Model::new(Knowledge::PortsFixed, Relabeling::None).to_string(), "IA∧α");
+        assert_eq!(Model::new(Knowledge::PortsFree, Relabeling::Permutation).to_string(), "IB∧β");
+        assert_eq!(Model::new(Knowledge::NeighborsKnown, Relabeling::Free).to_string(), "II∧γ");
+    }
+
+    #[test]
+    fn all_lists_nine_distinct_models() {
+        let all = Model::all();
+        assert_eq!(all.len(), 9);
+        let set: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(set.len(), 9);
+    }
+
+    #[test]
+    fn predicates() {
+        let ia = Model::new(Knowledge::PortsFixed, Relabeling::None);
+        assert!(!ia.neighbors_known() && !ia.ports_free() && !ia.charges_labels());
+        let ib = Model::new(Knowledge::PortsFree, Relabeling::Permutation);
+        assert!(!ib.neighbors_known() && ib.ports_free() && !ib.charges_labels());
+        let ii = Model::new(Knowledge::NeighborsKnown, Relabeling::Free);
+        assert!(ii.neighbors_known() && ii.ports_free() && ii.charges_labels());
+    }
+}

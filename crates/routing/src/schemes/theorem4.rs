@@ -1,0 +1,283 @@
+//! The Theorem 4 scheme: stretch 2 in `n·log log n + 6n` bits (model II).
+//!
+//! A single *centre* node stores a full Theorem 1 shortest-path table
+//! (≤ 6n bits). Its immediate neighbours store nothing: they either deliver
+//! directly or fall back to the centre, which is their neighbour. Every
+//! node at distance 2 from the centre stores only which of its first
+//! `(c+3)·log n` neighbours leads towards the centre — `log log n + O(1)`
+//! bits (Lemma 3 guarantees such a neighbour exists in the prefix). A
+//! route makes at most 2 hops to the centre and 2 hops out: stretch 2 on a
+//! diameter-2 graph.
+
+use ort_bitio::{bits_to_index, BitReader, BitVec, BitWriter};
+use ort_graphs::labels::{Label, Labeling};
+use ort_graphs::ports::PortAssignment;
+use ort_graphs::{Graph, NodeId};
+
+use crate::model::{Knowledge, Model, Relabeling};
+use crate::scheme::{
+    LocalRouter, MessageState, NodeEnv, RouteDecision, RouteError, RoutingScheme, SchemeError,
+};
+use crate::schemes::theorem1::{route_with_tables, Theorem1Scheme};
+
+/// Default randomness parameter (as in Theorem 2).
+pub const DEFAULT_C: f64 = 3.0;
+
+/// The centre node's id. The paper uses "node 1"; zero-based, the centre
+/// is node 0, and routers hard-code this convention (O(1) information).
+pub const CENTER: NodeId = 0;
+
+/// The Theorem 4 centre scheme (stretch ≤ 2).
+///
+/// # Example
+///
+/// ```
+/// use ort_graphs::generators;
+/// use ort_routing::schemes::theorem4::Theorem4Scheme;
+/// use ort_routing::verify;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = generators::gnp_half(64, 3);
+/// let scheme = Theorem4Scheme::build(&g)?;
+/// let report = verify::verify_scheme(&g, &scheme)?;
+/// assert!(report.max_stretch().unwrap() <= 2.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Theorem4Scheme {
+    bits: Vec<BitVec>,
+    labeling: Labeling,
+    ports: PortAssignment,
+    prefix_len: usize,
+}
+
+impl Theorem4Scheme {
+    /// Builds the scheme with the default `c`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Theorem4Scheme::build_with_c`].
+    pub fn build(g: &Graph) -> Result<Self, SchemeError> {
+        Self::build_with_c(g, DEFAULT_C)
+    }
+
+    /// Builds the scheme; distance-2 nodes index into their first
+    /// `(c+3)·log₂ n` neighbours.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemeError::Precondition`] if the graph has diameter > 2
+    /// from the centre, or some distance-2 node has no centre-adjacent
+    /// neighbour in its prefix; [`SchemeError::Disconnected`] otherwise
+    /// unreachable nodes exist.
+    pub fn build_with_c(g: &Graph, c: f64) -> Result<Self, SchemeError> {
+        let n = g.node_count();
+        if n < 2 {
+            return Err(SchemeError::Precondition { reason: "need at least 2 nodes".into() });
+        }
+        if !ort_graphs::paths::is_connected(g) {
+            return Err(SchemeError::Disconnected);
+        }
+        let k = ((c + 3.0) * (n.max(2) as f64).log2()).ceil() as usize;
+        let width = bits_to_index(k as u64);
+        let mut bits = Vec::with_capacity(n);
+        for u in 0..n {
+            let mut w = BitWriter::new();
+            if u == CENTER {
+                w.write_bitvec(&Theorem1Scheme::encode_node_tables(g, u)?);
+            } else if !g.has_edge(u, CENTER) {
+                // Distance-2 node: index (within the first k neighbours) of
+                // a neighbour adjacent to the centre.
+                let idx = g
+                    .neighbors(u)
+                    .iter()
+                    .take(k)
+                    .position(|&x| g.has_edge(x, CENTER))
+                    .ok_or_else(|| SchemeError::Precondition {
+                        reason: format!(
+                            "node {u}: no centre-adjacent neighbour in its first {k} neighbours"
+                        ),
+                    })?;
+                w.write_bits(idx as u64, width)?;
+            }
+            // Neighbours of the centre store nothing.
+            bits.push(w.finish());
+        }
+        Ok(Theorem4Scheme {
+            bits,
+            labeling: Labeling::identity(n),
+            ports: PortAssignment::sorted(g),
+            prefix_len: k,
+        })
+    }
+
+    /// The prefix length `(c+3)·log₂ n` used for distance-2 pointers.
+    #[must_use]
+    pub fn prefix_len(&self) -> usize {
+        self.prefix_len
+    }
+}
+
+impl RoutingScheme for Theorem4Scheme {
+    fn model(&self) -> Model {
+        Model::new(Knowledge::NeighborsKnown, Relabeling::None)
+    }
+
+    fn node_count(&self) -> usize {
+        self.bits.len()
+    }
+
+    fn node_bits(&self, u: NodeId) -> &BitVec {
+        &self.bits[u]
+    }
+
+    fn labeling(&self) -> &Labeling {
+        &self.labeling
+    }
+
+    fn port_assignment(&self) -> &PortAssignment {
+        &self.ports
+    }
+
+    fn decode_router(&self, u: NodeId) -> Result<Box<dyn LocalRouter + '_>, SchemeError> {
+        if u >= self.bits.len() {
+            return Err(SchemeError::NodeOutOfRange { node: u });
+        }
+        Ok(Box::new(Theorem4Router { bits: &self.bits[u], prefix_width: bits_to_index(self.prefix_len as u64) }))
+    }
+}
+
+struct Theorem4Router<'a> {
+    bits: &'a BitVec,
+    prefix_width: u32,
+}
+
+impl LocalRouter for Theorem4Router<'_> {
+    fn route(
+        &self,
+        env: &NodeEnv,
+        dest: &Label,
+        _state: &mut MessageState,
+    ) -> Result<RouteDecision, RouteError> {
+        let Label::Minimal(dest_l) = *dest else {
+            return Err(RouteError::MissingInformation { what: "minimal destination label" });
+        };
+        let Label::Minimal(own) = env.label else {
+            return Err(RouteError::MissingInformation { what: "minimal own label" });
+        };
+        if dest_l == own {
+            return Ok(RouteDecision::Deliver);
+        }
+        let labels = env
+            .neighbor_labels
+            .as_ref()
+            .ok_or(RouteError::MissingInformation { what: "neighbour labels (model II)" })?;
+        let mut nbrs = Vec::with_capacity(labels.len());
+        for l in labels {
+            let Label::Minimal(v) = *l else {
+                return Err(RouteError::MissingInformation { what: "minimal neighbour labels" });
+            };
+            nbrs.push(v);
+        }
+        nbrs.sort_unstable();
+        // Immediate neighbours are always routed directly.
+        if let Ok(port) = nbrs.binary_search(&dest_l) {
+            return Ok(RouteDecision::Forward(port));
+        }
+        if own == CENTER {
+            return route_with_tables(self.bits, 0, env.n, &nbrs, own, dest_l);
+        }
+        // Route towards the centre.
+        if let Ok(port) = nbrs.binary_search(&CENTER) {
+            return Ok(RouteDecision::Forward(port));
+        }
+        // Distance-2 node: stored prefix index points at a centre-adjacent
+        // neighbour (ports are sorted, so prefix index = port).
+        let mut r = BitReader::new(self.bits);
+        let idx = r.read_bits(self.prefix_width)? as usize;
+        if idx >= env.degree {
+            return Err(RouteError::PortOutOfRange { port: idx, degree: env.degree });
+        }
+        Ok(RouteDecision::Forward(idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::RoutingScheme;
+    use crate::verify::verify_scheme;
+    use ort_graphs::generators;
+
+    #[test]
+    fn stretch_at_most_2_on_random_graphs() {
+        for seed in 0..5u64 {
+            let g = generators::gnp_half(48, seed);
+            let scheme = Theorem4Scheme::build(&g).unwrap();
+            let report = verify_scheme(&g, &scheme).unwrap();
+            assert!(report.all_delivered(), "seed {seed}: {:?}", report.failures.first());
+            let s = report.max_stretch().unwrap();
+            assert!(s <= 2.0, "seed {seed}: stretch {s}");
+        }
+    }
+
+    #[test]
+    fn size_is_n_loglog_n_plus_6n() {
+        let n = 512usize;
+        let g = generators::gnp_half(n, 7);
+        let scheme = Theorem4Scheme::build(&g).unwrap();
+        // Centre: ≤ 6n. Everyone else: ≤ ⌈log((c+3) log n)⌉ ≤ 6 bits here.
+        assert!(scheme.node_size_bits(CENTER) <= 6 * n);
+        let loglog = bits_to_index(scheme.prefix_len() as u64) as usize;
+        for u in 1..n {
+            assert!(scheme.node_size_bits(u) <= loglog, "node {u}");
+        }
+        assert!(scheme.total_size_bits() <= n * loglog + 6 * n);
+        // Strictly below Theorem 3's O(n log n) at this size.
+        let t3 = crate::schemes::theorem3::Theorem3Scheme::build(&g).unwrap();
+        assert!(scheme.total_size_bits() < t3.total_size_bits());
+    }
+
+    #[test]
+    fn centre_neighbours_store_nothing() {
+        let g = generators::gnp_half(64, 1);
+        let scheme = Theorem4Scheme::build(&g).unwrap();
+        for &v in g.neighbors(CENTER) {
+            assert_eq!(scheme.node_size_bits(v), 0, "centre neighbour {v}");
+        }
+    }
+
+    #[test]
+    fn rejects_centre_eccentricity_over_two() {
+        // The construction needs every node within distance 2 *of the
+        // centre* — a path fails that.
+        let g = generators::path(12);
+        assert!(Theorem4Scheme::build(&g).is_err());
+    }
+
+    #[test]
+    fn gb_graph_has_centre_eccentricity_two_and_still_stretch_two() {
+        // G_B has diameter 4, but a bottom-node centre reaches everything
+        // in 2 hops, so the construction goes through — and the stretch
+        // bound survives because routes are ≤ 4 hops.
+        let g = generators::gb_graph(4);
+        let scheme = Theorem4Scheme::build(&g).unwrap();
+        let report = verify_scheme(&g, &scheme).unwrap();
+        assert!(report.all_delivered());
+        assert!(report.max_stretch().unwrap() <= 2.0);
+    }
+
+    #[test]
+    fn works_on_star_and_bipartite() {
+        for (g, name) in [
+            (generators::star(14), "star"),
+            (generators::complete_bipartite(7, 7), "k77"),
+        ] {
+            let scheme = Theorem4Scheme::build(&g).unwrap();
+            let report = verify_scheme(&g, &scheme).unwrap();
+            assert!(report.all_delivered(), "{name}");
+            assert!(report.max_stretch().unwrap() <= 2.0, "{name}");
+        }
+    }
+}

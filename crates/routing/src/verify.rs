@@ -1,0 +1,339 @@
+//! Exhaustive verification of routing schemes.
+//!
+//! For every ordered pair `(s, t)` the verifier decodes routers **from the
+//! stored bits only**, walks the message through the network, and checks
+//! delivery; route lengths are compared against true shortest-path
+//! distances to measure the stretch factor (Section 1's definition: the
+//! maximum over pairs of route length / distance).
+
+use std::error::Error;
+use std::fmt;
+
+use ort_graphs::paths::Apsp;
+use ort_graphs::{Graph, NodeId};
+
+use crate::scheme::{MessageState, RouteDecision, RouteError, RoutingScheme, SchemeError};
+
+/// Why a message failed to arrive.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RouteFailure {
+    /// A router returned an error.
+    RouterError {
+        /// Node at which the error occurred.
+        at: NodeId,
+        /// The underlying error.
+        error: RouteError,
+    },
+    /// A router claimed delivery at the wrong node.
+    Misdelivered {
+        /// Node that wrongly claimed to be the destination.
+        at: NodeId,
+    },
+    /// The hop budget was exhausted (a routing loop, most likely).
+    HopLimit {
+        /// The budget that was exhausted.
+        limit: usize,
+    },
+    /// A `Forward` pointed at a port that does not exist.
+    BadPort {
+        /// Node that emitted the port.
+        at: NodeId,
+        /// The emitted port.
+        port: usize,
+    },
+    /// A full-information router returned an empty port set.
+    NoUsablePort {
+        /// Node at which no port was usable.
+        at: NodeId,
+    },
+}
+
+impl fmt::Display for RouteFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteFailure::RouterError { at, error } => write!(f, "router error at {at}: {error}"),
+            RouteFailure::Misdelivered { at } => write!(f, "misdelivered at node {at}"),
+            RouteFailure::HopLimit { limit } => write!(f, "hop limit {limit} exhausted"),
+            RouteFailure::BadPort { at, port } => write!(f, "bad port {port} at node {at}"),
+            RouteFailure::NoUsablePort { at } => write!(f, "no usable port at node {at}"),
+        }
+    }
+}
+
+impl Error for RouteFailure {}
+
+/// Routes one message from `s` to `t` through `scheme`, returning the node
+/// path `[s, …, t]`.
+///
+/// # Errors
+///
+/// Returns a [`RouteFailure`] describing the first problem encountered.
+pub fn route_pair(
+    scheme: &dyn RoutingScheme,
+    s: NodeId,
+    t: NodeId,
+    max_hops: usize,
+) -> Result<Vec<NodeId>, RouteFailure> {
+    let dest_label = scheme.label_of(t);
+    let pa = scheme.port_assignment();
+    let mut state = MessageState { source: Some(scheme.label_of(s)), counter: 0 };
+    let mut path = vec![s];
+    let mut cur = s;
+    for _ in 0..=max_hops {
+        let router = scheme
+            .decode_router(cur)
+            .map_err(|e| RouteFailure::RouterError { at: cur, error: scheme_to_route(e) })?;
+        let env = scheme.node_env(cur);
+        let decision = router
+            .route(&env, &dest_label, &mut state)
+            .map_err(|error| RouteFailure::RouterError { at: cur, error })?;
+        let port = match decision {
+            RouteDecision::Deliver => {
+                return if cur == t {
+                    Ok(path)
+                } else {
+                    Err(RouteFailure::Misdelivered { at: cur })
+                };
+            }
+            RouteDecision::Forward(p) => p,
+            RouteDecision::ForwardAny(ports) => {
+                *ports.first().ok_or(RouteFailure::NoUsablePort { at: cur })?
+            }
+        };
+        let next = pa
+            .neighbor_at(cur, port)
+            .ok_or(RouteFailure::BadPort { at: cur, port })?;
+        path.push(next);
+        cur = next;
+    }
+    Err(RouteFailure::HopLimit { limit: max_hops })
+}
+
+fn scheme_to_route(e: SchemeError) -> RouteError {
+    match e {
+        SchemeError::Code(c) => RouteError::Code(c),
+        _ => RouteError::MissingInformation { what: "router undecodable" },
+    }
+}
+
+/// Outcome of verifying every ordered pair.
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// Number of ordered pairs routed successfully.
+    pub delivered: usize,
+    /// Pairs that failed, with the reason (empty for a correct scheme).
+    pub failures: Vec<(NodeId, NodeId, RouteFailure)>,
+    /// Per-pair (route_hops, shortest_distance) for delivered pairs.
+    pub stretches: Vec<(u32, u32)>,
+    /// Total hops across delivered pairs.
+    pub total_hops: u64,
+}
+
+impl VerifyReport {
+    /// The scheme's measured stretch factor: `max hops/dist` over pairs at
+    /// distance ≥ 1. `None` if nothing was delivered.
+    #[must_use]
+    pub fn max_stretch(&self) -> Option<f64> {
+        self.stretches
+            .iter()
+            .filter(|&&(_, d)| d > 0)
+            .map(|&(h, d)| f64::from(h) / f64::from(d))
+            .fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.max(x))))
+    }
+
+    /// Average stretch over delivered pairs at distance ≥ 1.
+    #[must_use]
+    pub fn avg_stretch(&self) -> Option<f64> {
+        let xs: Vec<f64> = self
+            .stretches
+            .iter()
+            .filter(|&&(_, d)| d > 0)
+            .map(|&(h, d)| f64::from(h) / f64::from(d))
+            .collect();
+        if xs.is_empty() {
+            None
+        } else {
+            Some(xs.iter().sum::<f64>() / xs.len() as f64)
+        }
+    }
+
+    /// Whether every pair was delivered.
+    #[must_use]
+    pub fn all_delivered(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Whether the scheme is shortest-path (stretch exactly 1).
+    #[must_use]
+    pub fn is_shortest_path(&self) -> bool {
+        self.all_delivered() && self.stretches.iter().all(|&(h, d)| h == d)
+    }
+}
+
+/// Default hop budget: generous enough for the probe scheme's
+/// `2(c+3)log n` scans and any constant-stretch route.
+#[must_use]
+pub fn default_hop_limit(n: usize) -> usize {
+    4 * n + 16
+}
+
+/// Verifies `scheme` against `g`: routes every ordered pair and measures
+/// stretch against true distances.
+///
+/// # Errors
+///
+/// Returns [`SchemeError::Disconnected`] if `g` is disconnected (stretch is
+/// undefined); per-pair routing problems are reported inside the
+/// [`VerifyReport`], not as errors.
+pub fn verify_scheme(g: &Graph, scheme: &dyn RoutingScheme) -> Result<VerifyReport, SchemeError> {
+    let apsp = Apsp::compute(g);
+    if apsp.diameter().is_none() && g.node_count() > 1 {
+        return Err(SchemeError::Disconnected);
+    }
+    let n = g.node_count();
+    let limit = default_hop_limit(n);
+    let mut report = VerifyReport {
+        delivered: 0,
+        failures: Vec::new(),
+        stretches: Vec::with_capacity(n * n),
+        total_hops: 0,
+    };
+    for s in 0..n {
+        for t in 0..n {
+            if s == t {
+                continue;
+            }
+            match route_pair(scheme, s, t, limit) {
+                Ok(path) => {
+                    let hops = (path.len() - 1) as u32;
+                    let dist = apsp.distance(s, t).expect("connected");
+                    report.delivered += 1;
+                    report.total_hops += u64::from(hops);
+                    report.stretches.push((hops, dist));
+                }
+                Err(f) => report.failures.push((s, t, f)),
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Verifies a sampled subset of pairs (for large graphs): every pair
+/// `(s, t)` with `(s + t) % stride == 0`.
+///
+/// # Errors
+///
+/// As [`verify_scheme`].
+pub fn verify_scheme_sampled(
+    g: &Graph,
+    scheme: &dyn RoutingScheme,
+    stride: usize,
+) -> Result<VerifyReport, SchemeError> {
+    let apsp = Apsp::compute(g);
+    if apsp.diameter().is_none() && g.node_count() > 1 {
+        return Err(SchemeError::Disconnected);
+    }
+    let n = g.node_count();
+    let limit = default_hop_limit(n);
+    let mut report =
+        VerifyReport { delivered: 0, failures: Vec::new(), stretches: Vec::new(), total_hops: 0 };
+    for s in 0..n {
+        for t in 0..n {
+            if s == t || (s + t) % stride != 0 {
+                continue;
+            }
+            match route_pair(scheme, s, t, limit) {
+                Ok(path) => {
+                    let hops = (path.len() - 1) as u32;
+                    let dist = apsp.distance(s, t).expect("connected");
+                    report.delivered += 1;
+                    report.total_hops += u64::from(hops);
+                    report.stretches.push((hops, dist));
+                }
+                Err(f) => report.failures.push((s, t, f)),
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_stretch_math() {
+        let report = VerifyReport {
+            delivered: 3,
+            failures: vec![],
+            stretches: vec![(2, 2), (3, 2), (1, 1)],
+            total_hops: 6,
+        };
+        assert_eq!(report.max_stretch(), Some(1.5));
+        let avg = report.avg_stretch().unwrap();
+        assert!((avg - (1.0 + 1.5 + 1.0) / 3.0).abs() < 1e-12);
+        assert!(report.all_delivered());
+        assert!(!report.is_shortest_path());
+    }
+
+    #[test]
+    fn empty_report() {
+        let report =
+            VerifyReport { delivered: 0, failures: vec![], stretches: vec![], total_hops: 0 };
+        assert_eq!(report.max_stretch(), None);
+        assert_eq!(report.avg_stretch(), None);
+        assert!(report.is_shortest_path());
+    }
+
+    #[test]
+    fn sampled_with_stride_one_equals_full() {
+        use crate::schemes::theorem1::Theorem1Scheme;
+        let g = ort_graphs::generators::gnp_half(24, 5);
+        let scheme = Theorem1Scheme::build(&g).unwrap();
+        let full = verify_scheme(&g, &scheme).unwrap();
+        let sampled = verify_scheme_sampled(&g, &scheme, 1).unwrap();
+        assert_eq!(full.delivered, sampled.delivered);
+        assert_eq!(full.total_hops, sampled.total_hops);
+        assert_eq!(full.max_stretch(), sampled.max_stretch());
+        // And larger strides cover strictly fewer pairs.
+        let sparse = verify_scheme_sampled(&g, &scheme, 3).unwrap();
+        assert!(sparse.delivered < full.delivered);
+        assert!(sparse.delivered > 0);
+    }
+
+    #[test]
+    fn verify_rejects_disconnected() {
+        use crate::schemes::full_table::FullTableScheme;
+        let g = ort_graphs::generators::cycle(6);
+        let scheme = FullTableScheme::build(&g).unwrap();
+        // Pass a *different*, disconnected graph to the verifier: it must
+        // refuse rather than report nonsense stretch.
+        let disconnected = ort_graphs::Graph::from_edges(6, [(0, 1), (2, 3), (4, 5)]).unwrap();
+        assert!(matches!(
+            verify_scheme(&disconnected, &scheme),
+            Err(SchemeError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn route_pair_rejects_self_loop_budget_zero() {
+        use crate::schemes::full_table::FullTableScheme;
+        let g = ort_graphs::generators::cycle(5);
+        let scheme = FullTableScheme::build(&g).unwrap();
+        // Zero hop budget still allows immediate delivery checks only.
+        let err = route_pair(&scheme, 0, 2, 0).unwrap_err();
+        assert!(matches!(err, RouteFailure::HopLimit { limit: 0 }));
+        // Distance-1 pair needs one hop: budget 1 suffices.
+        let path = route_pair(&scheme, 0, 1, 1).unwrap();
+        assert_eq!(path, vec![0, 1]);
+    }
+
+    #[test]
+    fn failure_display() {
+        let f = RouteFailure::HopLimit { limit: 12 };
+        assert!(f.to_string().contains("12"));
+        let f = RouteFailure::Misdelivered { at: 3 };
+        assert!(f.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,496 @@
+//! A deterministic message-passing network simulator for routing schemes.
+//!
+//! [`Network`] reconstructs the topology purely from a scheme's port
+//! assignment and runs messages hop by hop, each hop decided by a router
+//! **decoded from the node's stored bits** — the same locality discipline
+//! the paper's model imposes. On top of `ort-routing`'s verifier it adds:
+//!
+//! * **link failures** ([`Network::fail_link`]) — full-information schemes
+//!   (Section 1: "allow alternative, shortest, paths to be taken whenever
+//!   an outgoing link is down") re-route around failed links; single-path
+//!   schemes report the failure;
+//! * **traces** — every delivery records the exact node path;
+//! * **statistics** ([`Network::stats`]) — messages, hops, failures.
+//!
+//! # Example
+//!
+//! ```
+//! use ort_graphs::generators;
+//! use ort_routing::schemes::full_information::FullInformationScheme;
+//! use ort_simnet::Network;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let g = generators::gnp_half(24, 1);
+//! let scheme = FullInformationScheme::build(&g)?;
+//! let mut net = Network::new(&scheme);
+//!
+//! // A non-adjacent pair has several shortest paths on a dense graph.
+//! let t = g.non_neighbors(0)[0];
+//! let before = net.send(0, t)?;
+//! // Cut the first link the route used; full information finds another
+//! // shortest path.
+//! net.fail_link(before.path[0], before.path[1]);
+//! let after = net.send(0, t)?;
+//! assert_eq!(after.hops(), before.hops());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rounds;
+pub mod workloads;
+
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+use ort_graphs::NodeId;
+use ort_routing::scheme::{MessageState, RouteDecision, RouteError, RoutingScheme};
+
+/// Why the simulator could not deliver a message.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A router returned an error.
+    Router {
+        /// Node at which the error occurred.
+        at: NodeId,
+        /// The underlying routing error.
+        error: RouteError,
+    },
+    /// The route needed a link that is currently down and had no
+    /// alternative.
+    LinkDown {
+        /// Node that tried to use the failed link.
+        at: NodeId,
+        /// The unreachable neighbour — `None` when *every* advertised
+        /// alternative was down.
+        to: Option<NodeId>,
+    },
+    /// A router claimed delivery at the wrong node.
+    Misdelivered {
+        /// The impostor node.
+        at: NodeId,
+    },
+    /// The hop budget was exhausted.
+    HopLimit {
+        /// The exhausted budget.
+        limit: usize,
+    },
+    /// The source or destination node id was out of range.
+    NodeOutOfRange {
+        /// The offending id.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Router { at, error } => write!(f, "router error at node {at}: {error}"),
+            SimError::LinkDown { at, to: Some(to) } => {
+                write!(f, "link {at}–{to} is down and no alternative exists")
+            }
+            SimError::LinkDown { at, to: None } => {
+                write!(f, "every advertised link out of {at} is down")
+            }
+            SimError::Misdelivered { at } => write!(f, "misdelivered at node {at}"),
+            SimError::HopLimit { limit } => write!(f, "hop limit {limit} exhausted"),
+            SimError::NodeOutOfRange { node } => write!(f, "node {node} out of range"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// A successful delivery record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// The node path, inclusive of source and destination.
+    pub path: Vec<NodeId>,
+}
+
+impl Delivery {
+    /// Number of edges traversed.
+    #[must_use]
+    pub fn hops(&self) -> usize {
+        self.path.len() - 1
+    }
+}
+
+/// Aggregate statistics over the life of a [`Network`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Messages successfully delivered.
+    pub delivered: u64,
+    /// Messages that failed.
+    pub failed: u64,
+    /// Total hops across delivered messages.
+    pub total_hops: u64,
+}
+
+/// A simulated network running one routing scheme.
+pub struct Network<'a> {
+    scheme: &'a dyn RoutingScheme,
+    failed: HashSet<(NodeId, NodeId)>,
+    stats: Stats,
+    hop_limit: usize,
+    loads: Vec<u64>,
+}
+
+impl<'a> Network<'a> {
+    /// Builds a network around `scheme`, with the default hop budget.
+    #[must_use]
+    pub fn new(scheme: &'a dyn RoutingScheme) -> Self {
+        let n = scheme.node_count();
+        Network {
+            scheme,
+            failed: HashSet::new(),
+            stats: Stats::default(),
+            hop_limit: ort_routing::verify::default_hop_limit(n),
+            loads: vec![0; n],
+        }
+    }
+
+    /// Overrides the per-message hop budget.
+    pub fn set_hop_limit(&mut self, limit: usize) {
+        self.hop_limit = limit;
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.scheme.node_count()
+    }
+
+    /// Marks the link `{u, v}` as failed (both directions).
+    pub fn fail_link(&mut self, u: NodeId, v: NodeId) {
+        self.failed.insert(key(u, v));
+    }
+
+    /// Restores a previously failed link.
+    pub fn restore_link(&mut self, u: NodeId, v: NodeId) {
+        self.failed.remove(&key(u, v));
+    }
+
+    /// Whether the link `{u, v}` is currently failed.
+    #[must_use]
+    pub fn is_failed(&self, u: NodeId, v: NodeId) -> bool {
+        self.failed.contains(&key(u, v))
+    }
+
+    /// The statistics accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> Stats {
+        self.stats
+    }
+
+    /// Sends one message from `s` to `t` and returns the delivery trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] describing the failure; statistics are
+    /// updated either way.
+    pub fn send(&mut self, s: NodeId, t: NodeId) -> Result<Delivery, SimError> {
+        let result = self.route(s, t);
+        match &result {
+            Ok(d) => {
+                self.stats.delivered += 1;
+                self.stats.total_hops += d.hops() as u64;
+                // Every node that transmitted the message carries load.
+                for &x in &d.path[..d.path.len() - 1] {
+                    self.loads[x] += 1;
+                }
+            }
+            Err(_) => self.stats.failed += 1,
+        }
+        result
+    }
+
+    /// Per-node transmission counts accumulated over delivered messages —
+    /// the congestion profile of the scheme. Centre-based schemes
+    /// (Theorems 3/4) concentrate load on their hubs; this is the
+    /// operational price of their smaller tables.
+    #[must_use]
+    pub fn load_profile(&self) -> &[u64] {
+        &self.loads
+    }
+
+    /// Resets statistics and the load profile (failed links persist).
+    pub fn reset_stats(&mut self) {
+        self.stats = Stats::default();
+        self.loads.fill(0);
+    }
+
+    fn route(&self, s: NodeId, t: NodeId) -> Result<Delivery, SimError> {
+        let n = self.scheme.node_count();
+        if s >= n {
+            return Err(SimError::NodeOutOfRange { node: s });
+        }
+        if t >= n {
+            return Err(SimError::NodeOutOfRange { node: t });
+        }
+        let pa = self.scheme.port_assignment();
+        let dest_label = self.scheme.label_of(t);
+        let mut state = MessageState { source: Some(self.scheme.label_of(s)), counter: 0 };
+        let mut path = vec![s];
+        let mut cur = s;
+        for _ in 0..=self.hop_limit {
+            let router = self
+                .scheme
+                .decode_router(cur)
+                .map_err(|_| SimError::Router {
+                    at: cur,
+                    error: RouteError::MissingInformation { what: "router undecodable" },
+                })?;
+            let env = self.scheme.node_env(cur);
+            let decision = router
+                .route(&env, &dest_label, &mut state)
+                .map_err(|error| SimError::Router { at: cur, error })?;
+            let next = match decision {
+                RouteDecision::Deliver => {
+                    return if cur == t {
+                        Ok(Delivery { path })
+                    } else {
+                        Err(SimError::Misdelivered { at: cur })
+                    };
+                }
+                RouteDecision::Forward(p) => {
+                    let next = pa.neighbor_at(cur, p).ok_or(SimError::Router {
+                        at: cur,
+                        error: RouteError::PortOutOfRange { port: p, degree: env.degree },
+                    })?;
+                    if self.is_failed(cur, next) {
+                        return Err(SimError::LinkDown { at: cur, to: Some(next) });
+                    }
+                    next
+                }
+                RouteDecision::ForwardAny(ports) => {
+                    // Failover: take the first port whose link is alive.
+                    let mut chosen = None;
+                    for p in ports {
+                        let cand = pa.neighbor_at(cur, p).ok_or(SimError::Router {
+                            at: cur,
+                            error: RouteError::PortOutOfRange { port: p, degree: env.degree },
+                        })?;
+                        if !self.is_failed(cur, cand) {
+                            chosen = Some(cand);
+                            break;
+                        }
+                    }
+                    chosen.ok_or(SimError::LinkDown { at: cur, to: None })?
+                }
+            };
+            path.push(next);
+            cur = next;
+        }
+        Err(SimError::HopLimit { limit: self.hop_limit })
+    }
+
+    /// Sends every ordered pair once; returns `(delivered, failed)`.
+    pub fn send_all_pairs(&mut self) -> (u64, u64) {
+        let n = self.node_count();
+        let (mut ok, mut bad) = (0, 0);
+        for s in 0..n {
+            for t in 0..n {
+                if s == t {
+                    continue;
+                }
+                match self.send(s, t) {
+                    Ok(_) => ok += 1,
+                    Err(_) => bad += 1,
+                }
+            }
+        }
+        (ok, bad)
+    }
+}
+
+impl fmt::Debug for Network<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Network(n={}, failed_links={}, stats={:?})",
+            self.node_count(),
+            self.failed.len(),
+            self.stats
+        )
+    }
+}
+
+fn key(u: NodeId, v: NodeId) -> (NodeId, NodeId) {
+    if u < v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ort_graphs::generators;
+    use ort_graphs::paths::Apsp;
+    use ort_routing::schemes::full_information::FullInformationScheme;
+    use ort_routing::schemes::full_table::FullTableScheme;
+    use ort_routing::schemes::theorem1::Theorem1Scheme;
+    use ort_routing::schemes::theorem5::Theorem5Scheme;
+
+    #[test]
+    fn all_pairs_delivery_matches_verifier() {
+        let g = generators::gnp_half(24, 4);
+        let scheme = Theorem1Scheme::build(&g).unwrap();
+        let mut net = Network::new(&scheme);
+        let (ok, bad) = net.send_all_pairs();
+        assert_eq!(ok, 24 * 23);
+        assert_eq!(bad, 0);
+        assert_eq!(net.stats().delivered, 24 * 23);
+    }
+
+    #[test]
+    fn shortest_paths_through_simulator() {
+        let g = generators::grid(4, 4);
+        let scheme = FullTableScheme::build(&g).unwrap();
+        let apsp = Apsp::compute(&g);
+        let mut net = Network::new(&scheme);
+        for s in 0..16 {
+            for t in 0..16 {
+                if s == t {
+                    continue;
+                }
+                let d = net.send(s, t).unwrap();
+                assert_eq!(d.hops() as u32, apsp.distance(s, t).unwrap());
+                assert_eq!(d.path[0], s);
+                assert_eq!(*d.path.last().unwrap(), t);
+            }
+        }
+    }
+
+    #[test]
+    fn full_information_survives_link_failure() {
+        let g = generators::gnp_half(32, 7);
+        let scheme = FullInformationScheme::build(&g).unwrap();
+        let apsp = Apsp::compute(&g);
+        let mut net = Network::new(&scheme);
+        let mut exercised = 0;
+        // Non-adjacent pairs have one common neighbour per shortest path;
+        // on a dense random graph there are many.
+        let pairs: Vec<(usize, usize)> = (0..32)
+            .flat_map(|s| g.non_neighbors(s).into_iter().map(move |t| (s, t)))
+            .filter(|&(s, t)| s < t)
+            .take(4)
+            .collect();
+        assert_eq!(pairs.len(), 4);
+        for (s, t) in pairs {
+            let first = net.send(s, t).unwrap();
+            // Fail the first link of the route.
+            net.fail_link(first.path[0], first.path[1]);
+            match net.send(s, t) {
+                Ok(second) => {
+                    // Still a shortest path, via a different first hop.
+                    assert_eq!(second.hops() as u32, apsp.distance(s, t).unwrap());
+                    assert_ne!(second.path[1], first.path[1]);
+                    exercised += 1;
+                }
+                Err(SimError::LinkDown { .. }) => {
+                    // Only acceptable when the shortest path was unique.
+                    let ports = apsp.shortest_path_ports(&g, s, t);
+                    assert_eq!(ports.len(), 1, "had alternatives but failed");
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+            net.restore_link(first.path[0], first.path[1]);
+        }
+        assert!(exercised >= 2, "dense random graphs have alternative paths");
+    }
+
+    #[test]
+    fn single_path_scheme_reports_link_down() {
+        let g = generators::path(6);
+        let scheme = FullTableScheme::build(&g).unwrap();
+        let mut net = Network::new(&scheme);
+        net.fail_link(2, 3);
+        let err = net.send(0, 5).unwrap_err();
+        assert_eq!(err, SimError::LinkDown { at: 2, to: Some(3) });
+        assert_eq!(net.stats().failed, 1);
+        net.restore_link(2, 3);
+        assert!(net.send(0, 5).is_ok());
+    }
+
+    #[test]
+    fn probe_scheme_runs_with_message_state() {
+        // Theorem 5 needs per-message state; the simulator carries it.
+        let g = generators::gnp_half(32, 2);
+        let scheme = Theorem5Scheme::build(&g).unwrap();
+        let mut net = Network::new(&scheme);
+        let (ok, bad) = net.send_all_pairs();
+        assert_eq!(bad, 0, "{ok} ok");
+    }
+
+    #[test]
+    fn hop_limit_is_enforced() {
+        let g = generators::path(8);
+        let scheme = FullTableScheme::build(&g).unwrap();
+        let mut net = Network::new(&scheme);
+        net.set_hop_limit(3);
+        assert_eq!(net.send(0, 7).unwrap_err(), SimError::HopLimit { limit: 3 });
+        assert!(net.send(0, 3).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_nodes_rejected() {
+        let g = generators::cycle(5);
+        let scheme = FullTableScheme::build(&g).unwrap();
+        let mut net = Network::new(&scheme);
+        assert!(matches!(net.send(5, 0), Err(SimError::NodeOutOfRange { .. })));
+        assert!(matches!(net.send(0, 9), Err(SimError::NodeOutOfRange { .. })));
+    }
+
+    #[test]
+    fn load_profile_counts_transmissions() {
+        let g = generators::path(4); // 0-1-2-3
+        let scheme = FullTableScheme::build(&g).unwrap();
+        let mut net = Network::new(&scheme);
+        net.send(0, 3).unwrap(); // 0,1,2 transmit
+        net.send(3, 1).unwrap(); // 3,2 transmit
+        assert_eq!(net.load_profile(), &[1, 1, 2, 1]);
+        net.reset_stats();
+        assert_eq!(net.load_profile(), &[0, 0, 0, 0]);
+        assert_eq!(net.stats(), Stats::default());
+    }
+
+    #[test]
+    fn centre_scheme_concentrates_load() {
+        use ort_routing::schemes::theorem4::Theorem4Scheme;
+        let g = generators::gnp_half(40, 6);
+        let compact = Theorem1Scheme::build(&g).unwrap();
+        let centred = Theorem4Scheme::build(&g).unwrap();
+        let mut net_a = Network::new(&compact);
+        let mut net_b = Network::new(&centred);
+        net_a.send_all_pairs();
+        net_b.send_all_pairs();
+        let max_a = *net_a.load_profile().iter().max().unwrap() as f64;
+        let mean_a = net_a.load_profile().iter().sum::<u64>() as f64 / 40.0;
+        let max_b = *net_b.load_profile().iter().max().unwrap() as f64;
+        let mean_b = net_b.load_profile().iter().sum::<u64>() as f64 / 40.0;
+        // The Theorem 4 centre carries disproportionate traffic. (Theorem 1
+        // is itself skewed — least-common-neighbour routing favours low-id
+        // nodes — so only a strict ordering is robust at this size.)
+        assert!(max_b / mean_b > max_a / mean_a, "a: {max_a}/{mean_a}, b: {max_b}/{mean_b}");
+        // And the hottest node of the centred scheme is the centre itself.
+        let hottest = net_b.load_profile().iter().enumerate().max_by_key(|&(_, &l)| l).unwrap().0;
+        assert_eq!(hottest, ort_routing::schemes::theorem4::CENTER);
+    }
+
+    #[test]
+    fn failed_links_are_symmetric() {
+        let g = generators::cycle(6);
+        let scheme = FullTableScheme::build(&g).unwrap();
+        let mut net = Network::new(&scheme);
+        net.fail_link(3, 2);
+        assert!(net.is_failed(2, 3));
+        assert!(net.is_failed(3, 2));
+    }
+}

@@ -1,0 +1,256 @@
+//! Synchronous round-based simulation with bounded per-node capacity.
+//!
+//! [`crate::Network`] measures hop counts; this module measures *time
+//! under congestion*. In each round every node transmits at most
+//! `capacity` queued messages (decoding its router from stored bits, as
+//! always); everything else waits. Centre-based schemes (Theorems 3/4)
+//! serialize most traffic through a few nodes, so their completion time
+//! under all-to-all workloads explodes even though their hop counts are
+//! within stretch 2 — the queueing-theoretic face of
+//! [`crate::Network::load_profile`].
+
+use std::collections::VecDeque;
+
+use ort_graphs::NodeId;
+use ort_routing::scheme::{MessageState, RouteDecision, RoutingScheme};
+
+/// One queued message.
+#[derive(Debug, Clone)]
+struct InFlight {
+    dst: NodeId,
+    state: MessageState,
+    hops: u32,
+    injected_round: u32,
+}
+
+/// Outcome of a round-based run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundReport {
+    /// Rounds executed until the network drained (or the cap hit).
+    pub rounds: u32,
+    /// Messages delivered.
+    pub delivered: usize,
+    /// Messages dropped due to routing errors.
+    pub errored: usize,
+    /// Messages still queued when the round cap was reached.
+    pub stranded: usize,
+    /// Per-delivered-message latency in rounds (delivery − injection).
+    pub latencies: Vec<u32>,
+    /// Largest queue length observed at any node.
+    pub max_queue: usize,
+}
+
+impl RoundReport {
+    /// Mean delivery latency in rounds.
+    #[must_use]
+    pub fn mean_latency(&self) -> Option<f64> {
+        if self.latencies.is_empty() {
+            None
+        } else {
+            Some(self.latencies.iter().map(|&l| f64::from(l)).sum::<f64>()
+                / self.latencies.len() as f64)
+        }
+    }
+
+    /// Worst delivery latency in rounds.
+    #[must_use]
+    pub fn max_latency(&self) -> Option<u32> {
+        self.latencies.iter().copied().max()
+    }
+}
+
+/// A synchronous, capacity-limited simulator for one scheme.
+pub struct RoundSimulator<'a> {
+    scheme: &'a dyn RoutingScheme,
+    capacity: usize,
+    round_cap: u32,
+}
+
+impl<'a> RoundSimulator<'a> {
+    /// Creates a simulator where each node transmits at most `capacity`
+    /// messages per round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(scheme: &'a dyn RoutingScheme, capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        let n = scheme.node_count() as u32;
+        RoundSimulator { scheme, capacity, round_cap: 200 * n.max(1) + 1000 }
+    }
+
+    /// Overrides the safety cap on simulated rounds.
+    pub fn set_round_cap(&mut self, cap: u32) {
+        self.round_cap = cap;
+    }
+
+    /// Injects `workload` (all messages at round 0) and runs rounds until
+    /// the network drains or the round cap is hit.
+    #[must_use]
+    pub fn run(&self, workload: &[(NodeId, NodeId)]) -> RoundReport {
+        let n = self.scheme.node_count();
+        let mut queues: Vec<VecDeque<InFlight>> = vec![VecDeque::new(); n];
+        let mut in_flight = 0usize;
+        for &(s, t) in workload {
+            queues[s].push_back(InFlight {
+                dst: t,
+                state: MessageState { source: Some(self.scheme.label_of(s)), counter: 0 },
+                hops: 0,
+                injected_round: 0,
+            });
+            in_flight += 1;
+        }
+        let pa = self.scheme.port_assignment();
+        let mut report = RoundReport {
+            rounds: 0,
+            delivered: 0,
+            errored: 0,
+            stranded: 0,
+            latencies: Vec::with_capacity(workload.len()),
+            max_queue: queues.iter().map(VecDeque::len).max().unwrap_or(0),
+        };
+        // Double-buffer the queues so a message moves at most once per round.
+        while in_flight > 0 && report.rounds < self.round_cap {
+            report.rounds += 1;
+            let mut arrivals: Vec<Vec<InFlight>> = vec![Vec::new(); n];
+            for u in 0..n {
+                let Ok(router) = self.scheme.decode_router(u) else {
+                    report.errored += queues[u].len();
+                    in_flight -= queues[u].len();
+                    queues[u].clear();
+                    continue;
+                };
+                let env = self.scheme.node_env(u);
+                for _ in 0..self.capacity {
+                    let Some(mut msg) = queues[u].pop_front() else { break };
+                    let dest_label = self.scheme.label_of(msg.dst);
+                    match router.route(&env, &dest_label, &mut msg.state) {
+                        Ok(RouteDecision::Deliver) if u == msg.dst => {
+                            report.delivered += 1;
+                            report.latencies.push(report.rounds - 1 - msg.injected_round);
+                            in_flight -= 1;
+                        }
+                        Ok(RouteDecision::Forward(p)) => {
+                            match pa.neighbor_at(u, p) {
+                                Some(next) => {
+                                    msg.hops += 1;
+                                    arrivals[next].push(msg);
+                                }
+                                None => {
+                                    report.errored += 1;
+                                    in_flight -= 1;
+                                }
+                            }
+                        }
+                        Ok(RouteDecision::ForwardAny(ports)) => {
+                            match ports.first().and_then(|&p| pa.neighbor_at(u, p)) {
+                                Some(next) => {
+                                    msg.hops += 1;
+                                    arrivals[next].push(msg);
+                                }
+                                None => {
+                                    report.errored += 1;
+                                    in_flight -= 1;
+                                }
+                            }
+                        }
+                        _ => {
+                            report.errored += 1;
+                            in_flight -= 1;
+                        }
+                    }
+                }
+            }
+            for (u, batch) in arrivals.into_iter().enumerate() {
+                queues[u].extend(batch);
+            }
+            let max_q = queues.iter().map(VecDeque::len).max().unwrap_or(0);
+            report.max_queue = report.max_queue.max(max_q);
+        }
+        report.stranded = in_flight;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ort_graphs::generators;
+    use ort_routing::schemes::full_table::FullTableScheme;
+    use ort_routing::schemes::theorem1::Theorem1Scheme;
+    use ort_routing::schemes::theorem4::Theorem4Scheme;
+
+    fn all_pairs(n: usize) -> Vec<(NodeId, NodeId)> {
+        (0..n).flat_map(|s| (0..n).filter(move |&t| t != s).map(move |t| (s, t))).collect()
+    }
+
+    #[test]
+    fn uncongested_latency_equals_hops() {
+        // With unbounded capacity, a single message takes `hops` rounds.
+        let g = generators::path(6);
+        let scheme = FullTableScheme::build(&g).unwrap();
+        let sim = RoundSimulator::new(&scheme, 1000);
+        let report = sim.run(&[(0, 5)]);
+        assert_eq!(report.delivered, 1);
+        assert_eq!(report.latencies, vec![5]);
+        assert_eq!(report.stranded, 0);
+    }
+
+    #[test]
+    fn all_pairs_drain_completely() {
+        let n = 24;
+        let g = generators::gnp_half(n, 3);
+        let scheme = Theorem1Scheme::build(&g).unwrap();
+        let sim = RoundSimulator::new(&scheme, 4);
+        let report = sim.run(&all_pairs(n));
+        assert_eq!(report.delivered, n * (n - 1));
+        assert_eq!(report.errored, 0);
+        assert_eq!(report.stranded, 0);
+        assert!(report.mean_latency().unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn congestion_hurts_the_centre_scheme() {
+        let n = 32;
+        let g = generators::gnp_half(n, 8);
+        let distributed = Theorem1Scheme::build(&g).unwrap();
+        let centred = Theorem4Scheme::build(&g).unwrap();
+        let workload = all_pairs(n);
+        let cap = 2;
+        let r1 = RoundSimulator::new(&distributed, cap).run(&workload);
+        let r4 = RoundSimulator::new(&centred, cap).run(&workload);
+        assert_eq!(r1.stranded, 0);
+        assert_eq!(r4.stranded, 0);
+        // The centre serializes traffic: completion takes longer and the
+        // worst queue is deeper.
+        assert!(r4.rounds > r1.rounds, "t4 {} vs t1 {}", r4.rounds, r1.rounds);
+        assert!(r4.max_queue > r1.max_queue, "queues {} vs {}", r4.max_queue, r1.max_queue);
+    }
+
+    #[test]
+    fn capacity_one_on_a_star_serializes() {
+        // Star: all cross-leaf traffic goes through the centre; with
+        // capacity 1 the centre forwards one message per round, so k
+        // messages take ≥ k rounds.
+        let g = generators::star(8);
+        let scheme = FullTableScheme::build(&g).unwrap();
+        let sim = RoundSimulator::new(&scheme, 1);
+        let workload: Vec<(NodeId, NodeId)> = (1..8).map(|s| (s, s % 7 + 1)).collect();
+        let report = sim.run(&workload);
+        assert_eq!(report.delivered, workload.len());
+        assert!(report.rounds as usize >= workload.len(), "rounds {}", report.rounds);
+    }
+
+    #[test]
+    fn round_cap_strands_messages() {
+        let g = generators::path(10);
+        let scheme = FullTableScheme::build(&g).unwrap();
+        let mut sim = RoundSimulator::new(&scheme, 1);
+        sim.set_round_cap(2);
+        let report = sim.run(&[(0, 9)]);
+        assert_eq!(report.delivered, 0);
+        assert_eq!(report.stranded, 1);
+        assert_eq!(report.rounds, 2);
+    }
+}

@@ -1,0 +1,259 @@
+//! `ort` — command-line driver for the optimal-routing-tables library.
+//!
+//! ```text
+//! ort certify <n> <seed>                  check Lemmas 1-3 + compressibility
+//! ort build   <scheme> <n> <seed>         build a scheme, print size & stretch
+//! ort route   <scheme> <n> <seed> <s> <t> route one message, print the path
+//! ort schemes                             list available schemes
+//! ```
+//!
+//! Graphs are seeded `G(n, 1/2)` samples, so every invocation is
+//! reproducible.
+
+use std::process::ExitCode;
+
+use optimal_routing_tables::graphs::random_props::RandomnessReport;
+use optimal_routing_tables::graphs::{generators, Graph};
+use optimal_routing_tables::kolmogorov::deficiency::CompressorSuite;
+use optimal_routing_tables::routing::scheme::RoutingScheme;
+use optimal_routing_tables::routing::schemes::{
+    full_information::FullInformationScheme, full_table::FullTableScheme,
+    interval::IntervalScheme, landmark::LandmarkScheme, multi_interval::MultiIntervalScheme,
+    theorem1::Theorem1Scheme, theorem2::Theorem2Scheme, theorem3::Theorem3Scheme,
+    theorem4::Theorem4Scheme, theorem5::Theorem5Scheme,
+};
+use optimal_routing_tables::routing::verify;
+
+const SCHEMES: &[&str] = &[
+    "full-table",
+    "theorem1",
+    "theorem1-ib",
+    "theorem2",
+    "theorem3",
+    "theorem4",
+    "theorem5",
+    "full-information",
+    "interval",
+    "multi-interval",
+    "landmark",
+];
+
+fn build_scheme(name: &str, g: &Graph) -> Result<Box<dyn RoutingScheme>, String> {
+    let err = |e: optimal_routing_tables::routing::scheme::SchemeError| e.to_string();
+    Ok(match name {
+        "full-table" => Box::new(FullTableScheme::build(g).map_err(err)?),
+        "theorem1" => Box::new(Theorem1Scheme::build(g).map_err(err)?),
+        "theorem1-ib" => Box::new(Theorem1Scheme::build_ib(g).map_err(err)?),
+        "theorem2" => Box::new(Theorem2Scheme::build(g).map_err(err)?),
+        "theorem3" => Box::new(Theorem3Scheme::build(g).map_err(err)?),
+        "theorem4" => Box::new(Theorem4Scheme::build(g).map_err(err)?),
+        "theorem5" => Box::new(Theorem5Scheme::build(g).map_err(err)?),
+        "full-information" => Box::new(FullInformationScheme::build(g).map_err(err)?),
+        "interval" => Box::new(IntervalScheme::build(g).map_err(err)?),
+        "multi-interval" => Box::new(MultiIntervalScheme::build(g).map_err(err)?),
+        "landmark" => Box::new(LandmarkScheme::build(g, 7).map_err(err)?),
+        other => return Err(format!("unknown scheme '{other}'; try `ort schemes`")),
+    })
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage:");
+    eprintln!("  ort certify <n> <seed>");
+    eprintln!("  ort build   <scheme> <n> <seed>");
+    eprintln!("  ort route   <scheme> <n> <seed> <src> <dst>");
+    eprintln!("  ort save    <scheme> <n> <seed> <file>   (snapshot-capable schemes)");
+    eprintln!("  ort load    <file> <src> <dst>");
+    eprintln!("  ort schemes");
+    ExitCode::FAILURE
+}
+
+fn snapshot_kind(name: &str) -> Option<optimal_routing_tables::routing::snapshot::SchemeKind> {
+    use optimal_routing_tables::routing::snapshot::SchemeKind;
+    Some(match name {
+        "full-table" => SchemeKind::FullTable,
+        "theorem1" => SchemeKind::Theorem1,
+        "theorem1-ib" => SchemeKind::Theorem1Ib,
+        "theorem2" => SchemeKind::Theorem2,
+        "theorem5" => SchemeKind::Theorem5,
+        "full-information" => SchemeKind::FullInformation,
+        "multi-interval" => SchemeKind::MultiInterval,
+        _ => return None,
+    })
+}
+
+/// Packs a snapshot to bytes: 8-byte little-endian bit count, then the
+/// bits MSB-first within each byte.
+fn bits_to_bytes(bits: &optimal_routing_tables::bitio::BitVec) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + bits.len() / 8 + 1);
+    out.extend_from_slice(&(bits.len() as u64).to_le_bytes());
+    let mut acc = 0u8;
+    let mut filled = 0u8;
+    for b in bits.iter() {
+        acc = (acc << 1) | u8::from(b);
+        filled += 1;
+        if filled == 8 {
+            out.push(acc);
+            acc = 0;
+            filled = 0;
+        }
+    }
+    if filled > 0 {
+        out.push(acc << (8 - filled));
+    }
+    out
+}
+
+fn bytes_to_bits(data: &[u8]) -> Result<optimal_routing_tables::bitio::BitVec, String> {
+    if data.len() < 8 {
+        return Err("snapshot file too short".into());
+    }
+    let len = u64::from_le_bytes(data[..8].try_into().expect("8 bytes")) as usize;
+    if data.len() < 8 + len.div_ceil(8) {
+        return Err("snapshot file truncated".into());
+    }
+    let mut bits = optimal_routing_tables::bitio::BitVec::with_capacity(len);
+    for i in 0..len {
+        let byte = data[8 + i / 8];
+        bits.push((byte >> (7 - (i % 8))) & 1 == 1);
+    }
+    Ok(bits)
+}
+
+fn parse<T: std::str::FromStr>(s: Option<&String>, what: &str) -> Result<T, String> {
+    s.ok_or_else(|| format!("missing {what}"))?
+        .parse()
+        .map_err(|_| format!("invalid {what}"))
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("schemes") => {
+            for s in SCHEMES {
+                println!("{s}");
+            }
+            Ok(())
+        }
+        Some("certify") => {
+            let n: usize = parse(args.get(1), "n")?;
+            let seed: u64 = parse(args.get(2), "seed")?;
+            let g = generators::gnp_half(n, seed);
+            let report = RandomnessReport::evaluate(&g, 3.0);
+            let suite = CompressorSuite::standard();
+            println!("G({n}, 1/2) seed {seed}: {} edges", g.edge_count());
+            println!("lemma 1 (degree ±{:.1} vs scale {:.1}): {}",
+                report.degree.max_deviation, report.degree.lemma_scale, report.degree.holds);
+            println!("lemma 2 (diameter 2): {} (diameter = {:?})", report.diameter_two, report.diameter);
+            println!(
+                "lemma 3 (dominating prefix {:?} vs budget {:.1}): {}",
+                report.cover.max_prefix, report.cover.budget, report.cover.holds
+            );
+            println!("deficiency estimate: {} bits", suite.graph_deficiency(&g));
+            println!(
+                "verdict: {}",
+                if report.all_hold() { "operationally Kolmogorov random — all theorems apply" }
+                else { "NOT random enough — compact schemes may refuse this graph" }
+            );
+            Ok(())
+        }
+        Some("build") => {
+            let name = args.get(1).ok_or("missing scheme")?.clone();
+            let n: usize = parse(args.get(2), "n")?;
+            let seed: u64 = parse(args.get(3), "seed")?;
+            let g = generators::gnp_half(n, seed);
+            let scheme = build_scheme(&name, &g)?;
+            println!("{name} on G({n}, 1/2) seed {seed} [model {}]", scheme.model());
+            println!("total size: {} bits ({:.2} bits/n²)",
+                scheme.total_size_bits(),
+                scheme.total_size_bits() as f64 / (n * n) as f64);
+            let sizes: Vec<usize> = (0..n).map(|u| scheme.charged_size_bits(u)).collect();
+            println!(
+                "per node: min {} / median {} / max {}",
+                sizes.iter().min().unwrap(),
+                {
+                    let mut s = sizes.clone();
+                    s.sort_unstable();
+                    s[n / 2]
+                },
+                sizes.iter().max().unwrap()
+            );
+            let report = verify::verify_scheme_sampled(&g, scheme.as_ref(), if n >= 256 { 7 } else { 1 })
+                .map_err(|e| e.to_string())?;
+            println!(
+                "verification: {} pairs, {} failures, max stretch {:?}",
+                report.delivered,
+                report.failures.len(),
+                report.max_stretch()
+            );
+            Ok(())
+        }
+        Some("route") => {
+            let name = args.get(1).ok_or("missing scheme")?.clone();
+            let n: usize = parse(args.get(2), "n")?;
+            let seed: u64 = parse(args.get(3), "seed")?;
+            let s: usize = parse(args.get(4), "src")?;
+            let t: usize = parse(args.get(5), "dst")?;
+            if s >= n || t >= n {
+                return Err(format!("node ids must be below n = {n}"));
+            }
+            let g = generators::gnp_half(n, seed);
+            let scheme = build_scheme(&name, &g)?;
+            let path = verify::route_pair(scheme.as_ref(), s, t, 4 * n)
+                .map_err(|e| e.to_string())?;
+            println!("{s} → {t} via {name}: {path:?} ({} hops)", path.len() - 1);
+            Ok(())
+        }
+        Some("save") => {
+            let name = args.get(1).ok_or("missing scheme")?.clone();
+            let n: usize = parse(args.get(2), "n")?;
+            let seed: u64 = parse(args.get(3), "seed")?;
+            let file = args.get(4).ok_or("missing file")?;
+            let kind = snapshot_kind(&name)
+                .ok_or_else(|| format!("scheme '{name}' does not support snapshots"))?;
+            let g = generators::gnp_half(n, seed);
+            let scheme = build_scheme(&name, &g)?;
+            let snap = optimal_routing_tables::routing::snapshot::save(kind, scheme.as_ref())
+                .map_err(|e| e.to_string())?;
+            std::fs::write(file, bits_to_bytes(&snap)).map_err(|e| e.to_string())?;
+            println!("wrote {} ({} bits of snapshot, {} bits of tables)",
+                file, snap.len(), scheme.total_size_bits());
+            Ok(())
+        }
+        Some("load") => {
+            let file = args.get(1).ok_or("missing file")?;
+            let s: usize = parse(args.get(2), "src")?;
+            let t: usize = parse(args.get(3), "dst")?;
+            let data = std::fs::read(file).map_err(|e| e.to_string())?;
+            let bits = bytes_to_bits(&data)?;
+            let scheme = optimal_routing_tables::routing::snapshot::load(&bits)
+                .map_err(|e| e.to_string())?;
+            let n = scheme.node_count();
+            if s >= n || t >= n {
+                return Err(format!("node ids must be below n = {n}"));
+            }
+            let path = verify::route_pair(scheme.as_ref(), s, t, 4 * n)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "loaded scheme on {n} nodes [model {}]; {s} → {t}: {path:?}",
+                scheme.model()
+            );
+            Ok(())
+        }
+        _ => {
+            usage();
+            Err(String::new())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("error: {e}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

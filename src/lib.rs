@@ -1,0 +1,52 @@
+//! # Optimal Routing Tables
+//!
+//! A production-quality Rust reproduction of Buhrman, Hoepman & Vitányi,
+//! *"Optimal Routing Tables"*, PODC 1996 — compact routing schemes, their
+//! bit-exact encodings, and the incompressibility machinery behind the
+//! paper's matching lower bounds.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`bitio`] — bit vectors and the paper's self-delimiting codes.
+//! * [`graphs`] — graphs, generators (incl. Kolmogorov-random stand-ins and
+//!   the Figure 1 graph), shortest paths, ports, labels, Lemma 1–3 checks.
+//! * [`kolmogorov`] — randomness-deficiency estimation and the constructive
+//!   proof codecs of Lemmas 1–3 / Theorems 6 & 10.
+//! * [`routing`] — the nine routing models, the Theorem 1–5 schemes,
+//!   baselines, verification, and the Theorem 6–10 lower-bound accounting.
+//! * [`simnet`] — a message-passing simulator that runs schemes from their
+//!   decoded bits only.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use optimal_routing_tables::graphs::generators;
+//! use optimal_routing_tables::routing::schemes::theorem1::Theorem1Scheme;
+//! use optimal_routing_tables::routing::scheme::RoutingScheme;
+//! use optimal_routing_tables::routing::verify;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A Kolmogorov-random graph stand-in: uniform G(n, 1/2).
+//! let g = generators::gnp_half(64, 7);
+//!
+//! // Build the paper's Theorem 1 shortest-path scheme (≤ 6n bits/node).
+//! let scheme = Theorem1Scheme::build(&g)?;
+//!
+//! // Its size is honest: the bits really decode back into working routers.
+//! let total_bits = scheme.total_size_bits();
+//! assert!(total_bits <= 6 * 64 * 64);
+//!
+//! // And it routes every pair along shortest paths.
+//! let report = verify::verify_scheme(&g, &scheme)?;
+//! assert_eq!(report.max_stretch(), Some(1.0));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use ort_bitio as bitio;
+pub use ort_graphs as graphs;
+pub use ort_kolmogorov as kolmogorov;
+pub use ort_routing as routing;
+pub use ort_simnet as simnet;

@@ -1,0 +1,90 @@
+//! Fuzz-style robustness tests: corrupted or random bit streams fed to
+//! every decoder must produce clean errors (or wrong-but-well-formed
+//! graphs/routes), never panics. This matters because the lower-bound
+//! experiments *intentionally* run decoders over adversarial content.
+
+use proptest::prelude::*;
+
+use optimal_routing_tables::bitio::{BitReader, BitVec};
+use optimal_routing_tables::graphs::{generators, Graph};
+use optimal_routing_tables::kolmogorov::codecs::{lemma1, lemma2, lemma3};
+use optimal_routing_tables::routing::scheme::RoutingScheme;
+use optimal_routing_tables::routing::schemes::theorem1::Theorem1Scheme;
+use optimal_routing_tables::routing::verify::verify_scheme;
+
+fn random_bits(seed: u64, len: usize) -> BitVec {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1442695040888963407);
+            (state >> 63) & 1 == 1
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn codec_decoders_never_panic_on_noise(seed in any::<u64>(), len in 0usize..2000) {
+        let bits = random_bits(seed, len);
+        let n = 24;
+        // Any result is fine; panicking is not.
+        let _ = lemma1::decode(&bits, n);
+        let _ = lemma2::decode(&bits, n);
+        let _ = lemma3::decode(&bits, n, 3);
+        let _ = Graph::from_edge_bits(n, &bits);
+    }
+
+    #[test]
+    fn codec_decoders_never_panic_on_bitflips(seed in any::<u64>()) {
+        // Start from a *valid* encoding and flip one bit — the adversarial
+        // case closest to passing validation.
+        let g = generators::connected_gnp(30, 0.12, seed % 100);
+        if let Some((u, v)) = lemma2::find_distant_pair(&g) {
+            let enc = lemma2::encode(&g, u, v).unwrap();
+            for i in (0..enc.len()).step_by(17) {
+                let mut bad = enc.clone();
+                bad.set(i, !bad.get(i).unwrap());
+                let _ = lemma2::decode(&bad, 30);
+            }
+        }
+        let enc = lemma1::encode(&g, 3).unwrap();
+        for i in (0..enc.len()).step_by(13) {
+            let mut bad = enc.clone();
+            bad.set(i, !bad.get(i).unwrap());
+            let _ = lemma1::decode(&bad, 30);
+        }
+    }
+
+    #[test]
+    fn corrupted_routing_tables_fail_cleanly(seed in any::<u64>(), flip in any::<u64>()) {
+        let g = generators::gnp_half(32, seed % 50);
+        let Ok(mut scheme) = Theorem1Scheme::build(&g) else { return Ok(()); };
+        // Flip one bit in one node's table via the public clone-and-rebuild
+        // path: re-verify must complete without panicking, reporting either
+        // success (bit was in table-2 padding) or failures.
+        let victim = (flip % 32) as usize;
+        let bits = scheme.node_bits(victim).clone();
+        if bits.is_empty() { return Ok(()); }
+        let pos = (flip as usize / 32) % bits.len();
+        let mut corrupted = bits.clone();
+        corrupted.set(pos, !corrupted.get(pos).unwrap());
+        scheme.replace_node_bits(victim, corrupted);
+        let report = verify_scheme(&g, &scheme).unwrap();
+        // Either everything still works (rare) or failures are reported.
+        let _ = report.all_delivered();
+    }
+
+    #[test]
+    fn bitreader_seek_and_read_are_total(seed in any::<u64>(), len in 0usize..256) {
+        let bits = random_bits(seed, len);
+        let mut r = BitReader::new(&bits);
+        let _ = r.seek(len / 2);
+        let _ = r.read_bits(((seed % 70) as u32).min(64));
+        let _ = r.read_unary();
+        let _ = optimal_routing_tables::bitio::codes::read_elias_gamma(&mut r);
+        let _ = optimal_routing_tables::bitio::codes::read_elias_delta(&mut r);
+        let _ = optimal_routing_tables::bitio::codes::read_selfdelim_prime(&mut r);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based integration tests: across random seeds and sizes, every
+//! scheme that accepts a graph must deliver everywhere within its stretch
+//! bound, from decoded bits alone.
+
+use proptest::prelude::*;
+
+use optimal_routing_tables::graphs::generators;
+use optimal_routing_tables::routing::scheme::RoutingScheme;
+use optimal_routing_tables::routing::schemes::{
+    full_information::FullInformationScheme, full_table::FullTableScheme,
+    interval::IntervalScheme, landmark::LandmarkScheme, theorem1::Theorem1Scheme,
+    theorem2::Theorem2Scheme, theorem3::Theorem3Scheme, theorem4::Theorem4Scheme,
+    theorem5::Theorem5Scheme,
+};
+use optimal_routing_tables::routing::verify::verify_scheme;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn theorem_schemes_respect_their_stretch_bounds(seed in any::<u64>(), n in 24usize..56) {
+        let g = generators::gnp_half(n, seed);
+        // Small random graphs occasionally violate the diameter-2 /
+        // Lemma 3 preconditions; constructors must then refuse rather than
+        // misroute. When they accept, the bound must hold.
+        if let Ok(s) = Theorem1Scheme::build(&g) {
+            let r = verify_scheme(&g, &s).unwrap();
+            prop_assert!(r.is_shortest_path());
+        }
+        if let Ok(s) = Theorem3Scheme::build(&g) {
+            let r = verify_scheme(&g, &s).unwrap();
+            prop_assert!(r.all_delivered());
+            prop_assert!(r.max_stretch().unwrap() <= 1.5);
+        }
+        if let Ok(s) = Theorem4Scheme::build(&g) {
+            let r = verify_scheme(&g, &s).unwrap();
+            prop_assert!(r.all_delivered());
+            prop_assert!(r.max_stretch().unwrap() <= 2.0);
+        }
+        if let Ok(s) = Theorem5Scheme::build(&g) {
+            let r = verify_scheme(&g, &s).unwrap();
+            prop_assert!(r.all_delivered());
+            prop_assert!(r.max_stretch().unwrap() <= s.probe_budget() as f64);
+        }
+        if let Ok(s) = Theorem2Scheme::build(&g) {
+            let r = verify_scheme(&g, &s).unwrap();
+            prop_assert!(r.is_shortest_path());
+        }
+    }
+
+    #[test]
+    fn universal_schemes_work_on_arbitrary_connected_graphs(
+        seed in any::<u64>(),
+        n in 8usize..32,
+        p in 0.15f64..0.9,
+    ) {
+        let g = generators::connected_gnp(n, p, seed % 1000);
+        let ft = FullTableScheme::build(&g).unwrap();
+        prop_assert!(verify_scheme(&g, &ft).unwrap().is_shortest_path());
+
+        let fi = FullInformationScheme::build(&g).unwrap();
+        prop_assert!(verify_scheme(&g, &fi).unwrap().is_shortest_path());
+
+        let iv = IntervalScheme::build(&g).unwrap();
+        prop_assert!(verify_scheme(&g, &iv).unwrap().all_delivered());
+
+        let lm = LandmarkScheme::build(&g, seed).unwrap();
+        prop_assert!(verify_scheme(&g, &lm).unwrap().all_delivered());
+    }
+
+    #[test]
+    fn sizes_are_reproducible_and_bit_exact(seed in any::<u64>()) {
+        // Building the same scheme twice yields identical bit strings —
+        // the encodings are canonical, with no hidden nondeterminism.
+        let g = generators::gnp_half(32, seed);
+        if let (Ok(a), Ok(b)) = (Theorem1Scheme::build(&g), Theorem1Scheme::build(&g)) {
+            for u in 0..32 {
+                prop_assert_eq!(a.node_bits(u), b.node_bits(u));
+            }
+            prop_assert_eq!(a.total_size_bits(), b.total_size_bits());
+        }
+    }
+
+    #[test]
+    fn theorem1_size_bound_holds_across_seeds(seed in any::<u64>()) {
+        let n = 64usize;
+        let g = generators::gnp_half(n, seed);
+        if let Ok(s) = Theorem1Scheme::build(&g) {
+            for u in 0..n {
+                prop_assert!(s.node_size_bits(u) <= 6 * n, "node {} has {} bits", u, s.node_size_bits(u));
+            }
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Integration tests running every scheme through the message-passing
+//! simulator — schemes and simulator are separate crates, so this is the
+//! full decode-bits-then-route loop a deployment would run.
+
+use optimal_routing_tables::graphs::generators;
+use optimal_routing_tables::graphs::paths::Apsp;
+use optimal_routing_tables::routing::scheme::RoutingScheme;
+use optimal_routing_tables::routing::schemes::{
+    full_information::FullInformationScheme, full_table::FullTableScheme,
+    interval::IntervalScheme, landmark::LandmarkScheme, multi_interval::MultiIntervalScheme,
+    theorem1::Theorem1Scheme, theorem2::Theorem2Scheme, theorem3::Theorem3Scheme,
+    theorem4::Theorem4Scheme, theorem5::Theorem5Scheme,
+};
+use optimal_routing_tables::simnet::{Network, SimError};
+
+const N: usize = 48;
+const SEED: u64 = 77;
+
+fn all_schemes(g: &optimal_routing_tables::graphs::Graph) -> Vec<(&'static str, Box<dyn RoutingScheme>)> {
+    vec![
+        ("full_table", Box::new(FullTableScheme::build(g).unwrap())),
+        ("theorem1", Box::new(Theorem1Scheme::build(g).unwrap())),
+        ("theorem1_ib", Box::new(Theorem1Scheme::build_ib(g).unwrap())),
+        ("theorem2", Box::new(Theorem2Scheme::build(g).unwrap())),
+        ("theorem3", Box::new(Theorem3Scheme::build(g).unwrap())),
+        ("theorem4", Box::new(Theorem4Scheme::build(g).unwrap())),
+        ("theorem5", Box::new(Theorem5Scheme::build(g).unwrap())),
+        ("full_information", Box::new(FullInformationScheme::build(g).unwrap())),
+        ("interval", Box::new(IntervalScheme::build(g).unwrap())),
+        ("multi_interval", Box::new(MultiIntervalScheme::build(g).unwrap())),
+        ("landmark", Box::new(LandmarkScheme::build(g, 5).unwrap())),
+    ]
+}
+
+#[test]
+fn every_scheme_delivers_all_pairs_through_the_simulator() {
+    let g = generators::gnp_half(N, SEED);
+    for (name, scheme) in all_schemes(&g) {
+        let mut net = Network::new(scheme.as_ref());
+        let (ok, bad) = net.send_all_pairs();
+        assert_eq!(bad, 0, "{name}: {bad} failures");
+        assert_eq!(ok as usize, N * (N - 1), "{name}");
+    }
+}
+
+#[test]
+fn shortest_path_schemes_agree_with_apsp_hop_counts() {
+    let g = generators::gnp_half(N, SEED);
+    let apsp = Apsp::compute(&g);
+    for (name, scheme) in all_schemes(&g) {
+        if !matches!(
+            name,
+            "full_table" | "theorem1" | "theorem1_ib" | "theorem2" | "full_information"
+                | "multi_interval"
+        )
+        {
+            continue;
+        }
+        let mut net = Network::new(scheme.as_ref());
+        for s in 0..N {
+            for t in 0..N {
+                if s == t {
+                    continue;
+                }
+                let d = net.send(s, t).unwrap();
+                assert_eq!(
+                    d.hops() as u32,
+                    apsp.distance(s, t).unwrap(),
+                    "{name}: pair ({s},{t})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn simulator_and_verifier_agree() {
+    let g = generators::gnp_half(N, SEED);
+    let scheme = Theorem3Scheme::build(&g).unwrap();
+    let report = optimal_routing_tables::routing::verify::verify_scheme(&g, &scheme).unwrap();
+    let mut net = Network::new(&scheme);
+    let (ok, _) = net.send_all_pairs();
+    assert_eq!(report.delivered as u64, ok);
+    assert_eq!(report.total_hops, net.stats().total_hops);
+}
+
+#[test]
+fn landmark_scheme_handles_sparse_topologies_where_theorems_cannot() {
+    // The paper's schemes need diameter-2 random graphs; the baselines
+    // must cover the rest of the world.
+    for (g, name) in [
+        (generators::grid(6, 6), "grid"),
+        (generators::cycle(20), "cycle"),
+        (generators::connected_gnp(40, 0.15, 3), "sparse gnp"),
+    ] {
+        assert!(Theorem1Scheme::build(&g).is_err(), "{name} should violate preconditions");
+        let scheme = LandmarkScheme::build(&g, 1).unwrap();
+        let mut net = Network::new(&scheme);
+        let (_, bad) = net.send_all_pairs();
+        assert_eq!(bad, 0, "{name}");
+        let interval = IntervalScheme::build(&g).unwrap();
+        let mut net = Network::new(&interval);
+        let (_, bad) = net.send_all_pairs();
+        assert_eq!(bad, 0, "{name} (interval)");
+    }
+}
+
+#[test]
+fn link_failures_degrade_gracefully() {
+    let g = generators::gnp_half(N, SEED);
+    let fi = FullInformationScheme::build(&g).unwrap();
+    let mut net = Network::new(&fi);
+    // Cut every link on one node except one; traffic to that node must
+    // still arrive via the survivor.
+    let victim = 7usize;
+    let nbrs = g.neighbors(victim).to_vec();
+    for &v in &nbrs[1..] {
+        net.fail_link(victim, v);
+    }
+    let d = net.send(0, victim).unwrap();
+    assert_eq!(*d.path.last().unwrap(), victim);
+    assert_eq!(d.path[d.path.len() - 2], nbrs[0], "must enter via the survivor");
+    // Cut the last link: now it must fail, and report precisely.
+    net.fail_link(victim, nbrs[0]);
+    match net.send(0, victim) {
+        Err(SimError::LinkDown { .. } | SimError::HopLimit { .. }) => {}
+        other => panic!("expected failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn charged_sizes_differ_between_gamma_and_alpha() {
+    let g = generators::gnp_half(N, SEED);
+    let t2 = Theorem2Scheme::build(&g).unwrap();
+    // γ: everything is labels.
+    assert_eq!(t2.total_size_bits(), t2.labeling().total_charged_bits());
+    let t1 = Theorem1Scheme::build(&g).unwrap();
+    // α: labels are free.
+    assert_eq!(t1.labeling().total_charged_bits(), 0);
+    let per_node: usize = (0..N).map(|u| t1.node_size_bits(u)).sum();
+    assert_eq!(t1.total_size_bits(), per_node);
+}

@@ -1,0 +1,33 @@
+//! APSP engine comparison on dense `G(n, 1/2)` — the paper's graph regime.
+//!
+//! `queue_serial` is the seed implementation's behaviour (frontier queue,
+//! one source at a time); `bitset_serial` isolates the word-parallel
+//! frontier win; `default` is what `Apsp::compute` actually runs (bitset
+//! via the density heuristic, threaded when the `parallel` feature is on).
+//!
+//! Run with: `cargo bench -p ort-bench --bench apsp`
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ort_graphs::generators;
+use ort_graphs::paths::{Apsp, ApspEngine};
+
+fn apsp_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apsp");
+    group.sample_size(10);
+    for n in [128usize, 256, 512] {
+        let g = generators::gnp_half(n, 1);
+        group.bench_with_input(BenchmarkId::new("queue_serial", n), &g, |b, g| {
+            b.iter(|| black_box(Apsp::compute_serial_with_engine(g, ApspEngine::Queue)));
+        });
+        group.bench_with_input(BenchmarkId::new("bitset_serial", n), &g, |b, g| {
+            b.iter(|| black_box(Apsp::compute_serial_with_engine(g, ApspEngine::Bitset)));
+        });
+        group.bench_with_input(BenchmarkId::new("default", n), &g, |b, g| {
+            b.iter(|| black_box(Apsp::compute(g)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, apsp_engines);
+criterion_main!(benches);

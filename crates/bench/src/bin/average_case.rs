@@ -9,7 +9,7 @@
 //!
 //! Regenerate with: `cargo run --release -p ort-bench --bin average_case`
 
-use ort_bench::{mean, rule, sweep_sizes};
+use ort_bench::{mean, par_map, rule, sweep_sizes};
 use ort_graphs::generators;
 use ort_routing::scheme::RoutingScheme;
 use ort_routing::schemes::{
@@ -25,7 +25,8 @@ fn main() {
     println!("each cell: measured average total bits ÷ paper shape (flat ⇒ shape confirmed)\n");
 
     type Builder = fn(&ort_graphs::Graph) -> Option<usize>;
-    let rows: [(&str, &str, fn(usize) -> f64, Builder); 7] = [
+    type Shape = fn(usize) -> f64;
+    let rows: [(&str, &str, Shape, Builder); 7] = [
         ("1. II shortest path", "n²", |n| (n * n) as f64, |g| {
             Theorem1Scheme::build(g).ok().map(|s| s.total_size_bits())
         }),
@@ -57,14 +58,25 @@ fn main() {
     println!();
     rule(30 + 12 + 11 * sizes.len());
     for (name, shape_name, shape, build) in &rows {
+        // Fan the whole (n, seed) sweep for this row out across threads.
+        let items: Vec<(usize, u64)> = sizes
+            .iter()
+            .flat_map(|&n| {
+                // Full information at n=512+ is heavy; sample fewer seeds.
+                let s_count = if *shape_name == "n³" && n >= 512 { 2 } else { seeds };
+                (0..s_count).map(move |s| (n, s))
+            })
+            .collect();
+        let cells = par_map(&items, |&(n, s)| {
+            build(&generators::gnp_half(n, s + 100)).map(|b| b as f64 / shape(n))
+        });
         print!("{name:<28} {shape_name:<12}");
         for &n in &sizes {
-            // Full information at n=512+ is heavy; sample fewer seeds.
-            let s_count = if *shape_name == "n³" && n >= 512 { 2 } else { seeds };
-            let vals: Vec<f64> = (0..s_count)
-                .filter_map(|s| {
-                    build(&generators::gnp_half(n, s + 100)).map(|b| b as f64 / shape(n))
-                })
+            let vals: Vec<f64> = items
+                .iter()
+                .zip(&cells)
+                .filter(|((m, _), _)| *m == n)
+                .filter_map(|(_, v)| *v)
                 .collect();
             if vals.is_empty() {
                 print!(" {:>10}", "—");

@@ -3,7 +3,7 @@
 //!
 //! Regenerate with: `cargo run --release -p ort-bench --bin stretch_tradeoff`
 
-use ort_bench::{fit_exponent, fmt_bits, mean, rule, sweep_sizes, DEFAULT_SEEDS};
+use ort_bench::{fit_exponent, fmt_bits, mean, par_map, rule, sweep_sizes, DEFAULT_SEEDS};
 use ort_graphs::generators;
 use ort_routing::scheme::RoutingScheme;
 use ort_routing::schemes::{
@@ -60,24 +60,32 @@ fn main() {
     );
     rule(120);
     for row in &rows {
+        // Build + sampled-verify every (n, seed) cell in parallel; each
+        // cell returns (total size bits, measured stretch).
+        let items: Vec<(usize, u64)> = sizes
+            .iter()
+            .flat_map(|&n| (0..DEFAULT_SEEDS).map(move |s| (n, s)))
+            .collect();
+        let samples = par_map(&items, |&(n, s)| {
+            let g = generators::gnp_half(n, s + 10);
+            let scheme = (row.build)(&g);
+            // Sampled verification keeps the sweep fast at n=512+.
+            let stride = if n >= 256 { 7 } else { 1 };
+            let report =
+                verify_scheme_sampled(&g, scheme.as_ref(), stride).expect("connected");
+            assert!(report.all_delivered(), "{}: delivery failed", row.name);
+            (scheme.total_size_bits() as f64, report.max_stretch().unwrap_or(1.0))
+        });
+        let worst_stretch = samples.iter().map(|&(_, st)| st).fold(0.0_f64, f64::max);
         let mut ys = Vec::new();
-        let mut worst_stretch: f64 = 0.0;
         print!("{:<11} {:<10} {:<17} {:<13} {:>9}", row.id, row.name, row.paper_size, row.paper_stretch, "");
-        for &n in &sizes {
-            let samples: Vec<f64> = (0..DEFAULT_SEEDS)
-                .map(|s| {
-                    let g = generators::gnp_half(n, s + 10);
-                    let scheme = (row.build)(&g);
-                    // Sampled verification keeps the sweep fast at n=512+.
-                    let stride = if n >= 256 { 7 } else { 1 };
-                    let report = verify_scheme_sampled(&g, scheme.as_ref(), stride)
-                        .expect("connected");
-                    assert!(report.all_delivered(), "{}: delivery failed", row.name);
-                    worst_stretch = worst_stretch.max(report.max_stretch().unwrap_or(1.0));
-                    scheme.total_size_bits() as f64
-                })
+        for (i, &n) in sizes.iter().enumerate() {
+            let per_size: Vec<f64> = samples
+                [i * DEFAULT_SEEDS as usize..(i + 1) * DEFAULT_SEEDS as usize]
+                .iter()
+                .map(|&(bits, _)| bits)
                 .collect();
-            let avg = mean(&samples);
+            let avg = mean(&per_size);
             ys.push(avg.max(1.0));
             print!(" n={n}:{}", fmt_bits(avg as usize));
         }

@@ -7,7 +7,7 @@
 //! Regenerate with: `cargo run --release -p ort-bench --bin table1_upper`
 //! (set `ORT_FULL=1` for the n = 1024 tier).
 
-use ort_bench::{fit_exponent, fmt_bits, mean, rule, sweep_sizes, DEFAULT_SEEDS};
+use ort_bench::{fit_exponent, fmt_bits, mean, par_map, rule, sweep_sizes, DEFAULT_SEEDS};
 use ort_graphs::generators;
 use ort_graphs::labels::Labeling;
 use ort_graphs::ports::PortAssignment;
@@ -90,13 +90,20 @@ fn main() {
     );
     rule(110);
     for row in &rows {
-        let mut ys = Vec::new();
+        // The whole (n, seed) sweep for this row fans out across threads;
+        // results come back size-major, seed-minor, as laid out here.
+        let items: Vec<(usize, u64)> = sizes
+            .iter()
+            .flat_map(|&n| (0..DEFAULT_SEEDS).map(move |s| (n, s)))
+            .collect();
+        let samples = par_map(&items, |&(n, s)| {
+            (row.build)(&generators::gnp_half(n, s), s) as f64
+        });
         print!("{:<11} {:<6} {:<32} {:<13} |", row.id, row.model, row.scheme, row.paper);
-        for &n in &sizes {
-            let samples: Vec<f64> = (0..DEFAULT_SEEDS)
-                .map(|s| (row.build)(&generators::gnp_half(n, s), s) as f64)
-                .collect();
-            let avg = mean(&samples);
+        let mut ys = Vec::new();
+        for (i, &n) in sizes.iter().enumerate() {
+            let per_size = &samples[i * DEFAULT_SEEDS as usize..(i + 1) * DEFAULT_SEEDS as usize];
+            let avg = mean(per_size);
             ys.push(avg);
             print!(" n={n}:{}", fmt_bits(avg as usize));
         }

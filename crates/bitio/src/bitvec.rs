@@ -173,6 +173,16 @@ impl BitVec {
         out
     }
 
+    /// The backing 64-bit words, LSB-first within each word. Bits past
+    /// `len()` in the last word are guaranteed zero (the canonical form
+    /// `truncate` maintains), so word-parallel consumers — e.g. the bitset
+    /// BFS engine, which ORs adjacency rows — can operate on whole words
+    /// without masking the tail.
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Truncates to the first `len` bits (no-op if already shorter).
     pub fn truncate(&mut self, len: usize) {
         if len >= self.len {

@@ -5,13 +5,99 @@
 //! length / distance). [`Apsp`] computes and stores all-pairs BFS distances;
 //! [`Apsp::shortest_path_ports`] yields the full shortest-path DAG needed by
 //! full-information routing (Theorem 10).
+//!
+//! # Engines
+//!
+//! Two single-source traversals back the APSP computation:
+//!
+//! * **Queue BFS** — the textbook frontier queue over adjacency lists;
+//!   O(n + m) per source, best on sparse graphs.
+//! * **Bitset BFS** — the frontier and visited sets are `u64` words, and a
+//!   level expands by OR-ing whole adjacency-matrix rows
+//!   ([`crate::Graph::adjacency_row`]) into the next frontier. Each level
+//!   costs O(|frontier| · n/64) word operations, which on dense graphs
+//!   (the paper's G(n, 1/2) regime, diameter 2) beats pointer-chasing the
+//!   adjacency lists by a wide margin.
+//!
+//! [`ApspEngine::Auto`] picks between them from the average degree.
+//! With the default-on `parallel` feature, [`Apsp::compute`] additionally
+//! fans the per-source traversals out across threads (`std::thread::scope`;
+//! the thread count honours the `ORT_THREADS` env var). Rows are assigned
+//! to threads in contiguous blocks and each thread writes its own disjoint
+//! slice of the matrix, so the result is byte-identical to the serial
+//! computation.
+//!
+//! A computed [`Apsp`] wrapped in [`DistanceOracle`] (an `Arc`) can be
+//! shared between scheme construction and verification so the matrix is
+//! computed exactly once per graph; [`apsp_compute_count`] exposes a
+//! process-wide counter that tests use to assert this.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::{Graph, NodeId};
 
-/// Distance value for unreachable pairs.
-const UNREACHABLE: u32 = u32::MAX;
+/// Distance value encoding "unreachable" inside [`Apsp::dist_matrix`].
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Process-wide count of full APSP computations (see [`apsp_compute_count`]).
+static APSP_COMPUTES: AtomicU64 = AtomicU64::new(0);
+
+/// Number of times a full APSP matrix has been computed in this process,
+/// across all graphs and threads. Monotonic; intended for tests and
+/// benchmarks that assert a code path computes APSP exactly once (the
+/// [`DistanceOracle`] sharing contract).
+#[must_use]
+pub fn apsp_compute_count() -> u64 {
+    APSP_COMPUTES.load(Ordering::Relaxed)
+}
+
+/// A shared, immutable handle to a computed [`Apsp`].
+///
+/// Construction (`FullTableScheme::build_with_oracle` and friends) and
+/// verification (`verify_scheme_with_oracle`) both accept this handle, so
+/// one O(n·m) computation serves the whole construct-then-verify pipeline
+/// instead of each stage silently recomputing it.
+pub type DistanceOracle = Arc<Apsp>;
+
+/// Which single-source traversal backs [`Apsp::compute`] and
+/// [`bfs_distances`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApspEngine {
+    /// Choose per graph: bitset when the average degree is at least
+    /// [`ApspEngine::BITSET_AVG_DEGREE`], queue otherwise.
+    Auto,
+    /// Frontier-queue BFS over adjacency lists.
+    Queue,
+    /// Word-parallel frontier BFS over adjacency-matrix rows.
+    Bitset,
+}
+
+impl ApspEngine {
+    /// Average-degree threshold at which [`ApspEngine::Auto`] switches to
+    /// the bitset engine: with ≥ 32 neighbours per node on average, a level
+    /// expansion touches most words of most rows, so whole-word ORs beat
+    /// per-neighbour queue pushes.
+    pub const BITSET_AVG_DEGREE: usize = 32;
+
+    /// Resolves `Auto` against a concrete graph; `Queue` and `Bitset` are
+    /// returned unchanged.
+    #[must_use]
+    pub fn resolve(self, g: &Graph) -> ApspEngine {
+        match self {
+            ApspEngine::Auto => {
+                let n = g.node_count();
+                if n > 0 && 2 * g.edge_count() / n >= Self::BITSET_AVG_DEGREE {
+                    ApspEngine::Bitset
+                } else {
+                    ApspEngine::Queue
+                }
+            }
+            other => other,
+        }
+    }
+}
 
 /// Single-source BFS. Returns `(dist, parent)` where `dist[v]` is the hop
 /// distance from `src` (or `None` if unreachable) and `parent[v]` is the
@@ -37,15 +123,152 @@ pub fn bfs(g: &Graph, src: NodeId) -> (Vec<Option<u32>>, Vec<Option<NodeId>>) {
     (dist, parent)
 }
 
+/// Single-source distances computed by the chosen engine (no parents).
+/// Every engine produces identical distances; this entry point exists so
+/// property tests can cross-check them.
+#[must_use]
+pub fn bfs_distances(g: &Graph, src: NodeId, engine: ApspEngine) -> Vec<Option<u32>> {
+    let n = g.node_count();
+    let mut row = vec![UNREACHABLE; n];
+    match engine.resolve(g) {
+        ApspEngine::Queue => bfs_queue_into(g, src, &mut row),
+        ApspEngine::Bitset => bfs_bitset_into(g, src, &mut row),
+        ApspEngine::Auto => unreachable!("resolve() never returns Auto"),
+    }
+    row.into_iter().map(|d| if d == UNREACHABLE { None } else { Some(d) }).collect()
+}
+
+/// Queue BFS writing `UNREACHABLE`-encoded distances straight into a
+/// matrix row (no per-source allocations beyond the queue).
+fn bfs_queue_into(g: &Graph, src: NodeId, out: &mut [u32]) {
+    out.fill(UNREACHABLE);
+    if out.is_empty() {
+        return;
+    }
+    let mut queue = VecDeque::new();
+    out[src] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = out[u];
+        for &v in g.neighbors(u) {
+            if out[v] == UNREACHABLE {
+                out[v] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+}
+
+/// Word-parallel frontier BFS: the frontier, next-frontier and visited
+/// sets are `u64` words, and a level expands by OR-ing the adjacency row
+/// of every frontier node into the next frontier. Relies on
+/// `BitVec::words()` keeping bits past `len()` zero.
+fn bfs_bitset_into(g: &Graph, src: NodeId, out: &mut [u32]) {
+    out.fill(UNREACHABLE);
+    let n = g.node_count();
+    if n == 0 {
+        return;
+    }
+    let nwords = n.div_ceil(64);
+    let mut frontier = vec![0u64; nwords];
+    let mut next = vec![0u64; nwords];
+    let mut visited = vec![0u64; nwords];
+    frontier[src / 64] |= 1u64 << (src % 64);
+    visited[src / 64] |= 1u64 << (src % 64);
+    out[src] = 0;
+    let mut level: u32 = 0;
+    loop {
+        level += 1;
+        next.fill(0);
+        for (wi, &fw) in frontier.iter().enumerate() {
+            let mut bits = fw;
+            while bits != 0 {
+                let u = wi * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                for (acc, &row) in next.iter_mut().zip(g.adjacency_row(u).words()) {
+                    *acc |= row;
+                }
+            }
+        }
+        let mut any = false;
+        for (nw, &vw) in next.iter_mut().zip(visited.iter()) {
+            *nw &= !vw;
+            any |= *nw != 0;
+        }
+        if !any {
+            return;
+        }
+        for (wi, (&nw, vw)) in next.iter().zip(visited.iter_mut()).enumerate() {
+            *vw |= nw;
+            let mut bits = nw;
+            while bits != 0 {
+                let v = wi * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                out[v] = level;
+            }
+        }
+        std::mem::swap(&mut frontier, &mut next);
+    }
+}
+
+/// Number of nodes reachable from `src` (including `src` itself), via a
+/// visited-only word-parallel sweep — no distance or parent arrays, so
+/// this is the cheapest possible reachability probe. Generator rejection
+/// loops ([`crate::generators::connected_gnp`]) call this hot.
+#[must_use]
+pub fn reachable_count(g: &Graph, src: NodeId) -> usize {
+    let n = g.node_count();
+    if n == 0 {
+        return 0;
+    }
+    let nwords = n.div_ceil(64);
+    let mut frontier = vec![0u64; nwords];
+    let mut next = vec![0u64; nwords];
+    let mut visited = vec![0u64; nwords];
+    frontier[src / 64] |= 1u64 << (src % 64);
+    visited[src / 64] |= 1u64 << (src % 64);
+    loop {
+        next.fill(0);
+        for (wi, &fw) in frontier.iter().enumerate() {
+            let mut bits = fw;
+            while bits != 0 {
+                let u = wi * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                for (acc, &row) in next.iter_mut().zip(g.adjacency_row(u).words()) {
+                    *acc |= row;
+                }
+            }
+        }
+        let mut any = false;
+        for (nw, vw) in next.iter_mut().zip(visited.iter_mut()) {
+            *nw &= !*vw;
+            *vw |= *nw;
+            any |= *nw != 0;
+        }
+        if !any {
+            return visited.iter().map(|w| w.count_ones() as usize).sum();
+        }
+        std::mem::swap(&mut frontier, &mut next);
+    }
+}
+
 /// Whether the graph is connected (vacuously true for `n ≤ 1`).
 #[must_use]
 pub fn is_connected(g: &Graph) -> bool {
     let n = g.node_count();
-    if n <= 1 {
-        return true;
-    }
-    let (dist, _) = bfs(g, 0);
-    dist.iter().all(Option::is_some)
+    n <= 1 || reachable_count(g, 0) == n
+}
+
+/// Worker-thread count for parallel traversals: the `ORT_THREADS` env var
+/// if set to a positive integer, else the machine's available parallelism.
+#[cfg(feature = "parallel")]
+#[must_use]
+pub fn configured_threads() -> usize {
+    std::env::var("ORT_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
 }
 
 /// All-pairs shortest-path distances, computed by `n` BFS traversals.
@@ -60,7 +283,7 @@ pub fn is_connected(g: &Graph) -> bool {
 /// assert_eq!(apsp.distance(0, 3), Some(3));
 /// assert_eq!(apsp.diameter(), Some(3));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Apsp {
     n: usize,
     /// Row-major distance matrix; `UNREACHABLE` encodes `None`.
@@ -68,26 +291,115 @@ pub struct Apsp {
 }
 
 impl Apsp {
-    /// Computes all-pairs distances for `g`.
+    /// Computes all-pairs distances for `g` with the auto-selected engine,
+    /// in parallel when the `parallel` feature (default-on) is enabled.
     #[must_use]
     pub fn compute(g: &Graph) -> Self {
+        Self::compute_with_engine(g, ApspEngine::Auto)
+    }
+
+    /// Computes all-pairs distances with an explicit engine choice
+    /// (parallel across sources when the `parallel` feature is enabled).
+    #[must_use]
+    pub fn compute_with_engine(g: &Graph, engine: ApspEngine) -> Self {
+        #[cfg(feature = "parallel")]
+        let threads = configured_threads();
+        #[cfg(not(feature = "parallel"))]
+        let threads = 1;
+        Self::compute_impl(g, engine, threads)
+    }
+
+    /// Computes all-pairs distances on the calling thread only. The result
+    /// is byte-identical to [`Apsp::compute`]; exists so determinism tests
+    /// and baseline benchmarks can pin the serial path.
+    #[must_use]
+    pub fn compute_serial(g: &Graph) -> Self {
+        Self::compute_impl(g, ApspEngine::Auto, 1)
+    }
+
+    /// Serial computation with an explicit engine (see
+    /// [`Apsp::compute_serial`]).
+    #[must_use]
+    pub fn compute_serial_with_engine(g: &Graph, engine: ApspEngine) -> Self {
+        Self::compute_impl(g, engine, 1)
+    }
+
+    /// Computes all-pairs distances on exactly `threads` workers
+    /// (clamped to ≥ 1), bypassing `ORT_THREADS`/auto detection. Lets
+    /// tests exercise the parallel merge deterministically regardless of
+    /// the host's core count.
+    #[cfg(feature = "parallel")]
+    #[must_use]
+    pub fn compute_with_threads(g: &Graph, engine: ApspEngine, threads: usize) -> Self {
+        Self::compute_impl(g, engine, threads.max(1))
+    }
+
+    fn compute_impl(g: &Graph, engine: ApspEngine, threads: usize) -> Self {
+        APSP_COMPUTES.fetch_add(1, Ordering::Relaxed);
         let n = g.node_count();
         let mut dist = vec![UNREACHABLE; n * n];
-        for u in 0..n {
-            let (d, _) = bfs(g, u);
-            for v in 0..n {
-                if let Some(x) = d[v] {
-                    dist[u * n + v] = x;
-                }
+        let engine = engine.resolve(g);
+        let fill = |src: NodeId, row: &mut [u32]| match engine {
+            ApspEngine::Queue => bfs_queue_into(g, src, row),
+            ApspEngine::Bitset => bfs_bitset_into(g, src, row),
+            ApspEngine::Auto => unreachable!("resolve() never returns Auto"),
+        };
+        if threads <= 1 || n <= 1 {
+            for (src, row) in dist.chunks_mut(n.max(1)).enumerate() {
+                fill(src, row);
             }
+            return Apsp { n, dist };
         }
+        #[cfg(feature = "parallel")]
+        {
+            // Contiguous row blocks per thread: every thread owns a
+            // disjoint &mut slice of the matrix, so no synchronisation is
+            // needed and the bytes match the serial result exactly.
+            let rows_per = n.div_ceil(threads.min(n));
+            std::thread::scope(|s| {
+                for (ci, chunk) in dist.chunks_mut(rows_per * n).enumerate() {
+                    let fill = &fill;
+                    s.spawn(move || {
+                        for (ri, row) in chunk.chunks_mut(n).enumerate() {
+                            fill(ci * rows_per + ri, row);
+                        }
+                    });
+                }
+            });
+        }
+        #[cfg(not(feature = "parallel"))]
+        unreachable!("threads is pinned to 1 without the `parallel` feature");
+        #[cfg(feature = "parallel")]
         Apsp { n, dist }
+    }
+
+    /// Wraps this matrix in a shared [`DistanceOracle`] handle.
+    #[must_use]
+    pub fn into_oracle(self) -> DistanceOracle {
+        Arc::new(self)
     }
 
     /// Number of nodes the matrix covers.
     #[must_use]
     pub fn node_count(&self) -> usize {
         self.n
+    }
+
+    /// The raw row-major distance matrix; [`UNREACHABLE`] encodes `None`.
+    /// Row `u` holds the distances from source `u`.
+    #[must_use]
+    pub fn dist_matrix(&self) -> &[u32] {
+        &self.dist
+    }
+
+    /// Whether the underlying graph is connected (vacuously true for
+    /// `n ≤ 1`). Derived from row 0 of the matrix — the graph is
+    /// undirected, so connectivity equals reachability from node 0 — which
+    /// lets callers that already hold an [`Apsp`] skip a separate
+    /// traversal.
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        self.n <= 1 || self.dist[..self.n].iter().all(|&d| d != UNREACHABLE)
     }
 
     /// Hop distance from `u` to `v`, or `None` if unreachable.
@@ -175,10 +487,10 @@ pub fn floyd_warshall(g: &Graph) -> Vec<Vec<Option<u32>>> {
     let n = g.node_count();
     let inf = u32::MAX / 2;
     let mut d = vec![vec![inf; n]; n];
-    for u in 0..n {
-        d[u][u] = 0;
+    for (u, row) in d.iter_mut().enumerate() {
+        row[u] = 0;
         for &v in g.neighbors(u) {
-            d[u][v] = 1;
+            row[v] = 1;
         }
     }
     for k in 0..n {
@@ -216,6 +528,8 @@ mod tests {
         let (dist, _) = bfs(&g, 0);
         assert_eq!(dist[2], None);
         assert!(!is_connected(&g));
+        assert_eq!(reachable_count(&g, 0), 2);
+        assert_eq!(reachable_count(&g, 2), 1);
     }
 
     #[test]
@@ -227,14 +541,97 @@ mod tests {
     }
 
     #[test]
+    fn engines_agree_on_assorted_graphs() {
+        for (g, name) in [
+            (generators::gnp_half(70, 3), "dense gnp"),
+            (generators::connected_gnp(40, 0.1, 1), "sparse gnp"),
+            (generators::grid(7, 9), "grid"),
+            (Graph::from_edges(67, [(0, 1), (1, 2), (64, 65)]).unwrap(), "disconnected"),
+            (generators::complete(65), "complete"),
+            (Graph::empty(3), "isolated"),
+        ] {
+            for src in 0..g.node_count().min(4) {
+                let q = bfs_distances(&g, src, ApspEngine::Queue);
+                let b = bfs_distances(&g, src, ApspEngine::Bitset);
+                assert_eq!(q, b, "{name}, src {src}");
+                let reference: Vec<_> = bfs(&g, src).0;
+                assert_eq!(q, reference, "{name}, src {src} vs reference");
+            }
+            let qa = Apsp::compute_serial_with_engine(&g, ApspEngine::Queue);
+            let ba = Apsp::compute_serial_with_engine(&g, ApspEngine::Bitset);
+            assert_eq!(qa, ba, "{name}: engines disagree on the matrix");
+        }
+    }
+
+    #[test]
+    fn auto_engine_tracks_density() {
+        assert_eq!(
+            ApspEngine::Auto.resolve(&generators::complete(64)),
+            ApspEngine::Bitset
+        );
+        assert_eq!(ApspEngine::Auto.resolve(&generators::grid(8, 8)), ApspEngine::Queue);
+        assert_eq!(ApspEngine::Auto.resolve(&Graph::empty(0)), ApspEngine::Queue);
+        // Explicit choices pass through untouched.
+        assert_eq!(ApspEngine::Queue.resolve(&generators::complete(64)), ApspEngine::Queue);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_matches_serial_bytes() {
+        for seed in 0..3u64 {
+            let g = generators::gnp_half(65, seed);
+            let serial = Apsp::compute_serial(&g);
+            for threads in [2, 3, 8, 100] {
+                let par = Apsp::compute_with_threads(&g, ApspEngine::Auto, threads);
+                assert_eq!(serial.dist_matrix(), par.dist_matrix(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn compute_count_increments() {
+        let g = generators::cycle(5);
+        let before = apsp_compute_count();
+        let _ = Apsp::compute(&g);
+        let _ = Apsp::compute_serial(&g);
+        // Other tests run concurrently in this process, so the counter may
+        // have advanced by more than our two computations — but never less.
+        assert!(apsp_compute_count() >= before + 2);
+    }
+
+    #[test]
+    fn oracle_is_shared_not_cloned() {
+        let g = generators::cycle(6);
+        let oracle = Apsp::compute(&g).into_oracle();
+        let other = Arc::clone(&oracle);
+        assert!(std::ptr::eq(
+            std::sync::Arc::as_ptr(&oracle),
+            std::sync::Arc::as_ptr(&other)
+        ));
+        assert_eq!(other.distance(0, 3), Some(3));
+        assert!(oracle.is_connected());
+    }
+
+    #[test]
+    fn apsp_connectivity_matches_traversal() {
+        for (g, _) in [
+            (generators::gnp_half(24, 1), "gnp"),
+            (Graph::from_edges(5, [(0, 1), (2, 3)]).unwrap(), "split"),
+            (Graph::empty(1), "singleton"),
+        ] {
+            assert_eq!(Apsp::compute(&g).is_connected(), is_connected(&g));
+        }
+    }
+
+    #[test]
     fn apsp_matches_floyd_warshall() {
         for seed in 0..5u64 {
             let g = generators::gnp_half(24, seed);
             let apsp = Apsp::compute(&g);
             let fw = floyd_warshall(&g);
-            for u in 0..24 {
-                for v in 0..24 {
-                    assert_eq!(apsp.distance(u, v), fw[u][v], "({u},{v}) seed {seed}");
+            for (u, row) in fw.iter().enumerate() {
+                for (v, &fw_uv) in row.iter().enumerate() {
+                    assert_eq!(apsp.distance(u, v), fw_uv, "({u},{v}) seed {seed}");
                 }
             }
         }

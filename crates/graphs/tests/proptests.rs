@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 
-use ort_graphs::paths::{bfs, floyd_warshall, Apsp};
+use ort_graphs::paths::{bfs, bfs_distances, floyd_warshall, is_connected, reachable_count, Apsp, ApspEngine};
 use ort_graphs::{generators, Graph};
 
 /// Strategy: a random graph given by (n, edge bits as bools).
@@ -118,6 +118,53 @@ proptest! {
         let m = (seed as usize) % (total + 1);
         let g = generators::gnm(n, m, &mut rng);
         prop_assert_eq!(g.edge_count(), m);
+    }
+
+    #[test]
+    fn bfs_engines_agree_on_arbitrary_graphs(g in arb_graph(70)) {
+        // Arbitrary edge bits: covers disconnected and isolated-node cases.
+        for src in g.nodes() {
+            let q = bfs_distances(&g, src, ApspEngine::Queue);
+            let b = bfs_distances(&g, src, ApspEngine::Bitset);
+            prop_assert_eq!(&q, &b, "src {}", src);
+            let reference = bfs(&g, src).0;
+            prop_assert_eq!(&q, &reference, "src {} vs parent-tracking bfs", src);
+        }
+        let qa = Apsp::compute_serial_with_engine(&g, ApspEngine::Queue);
+        let ba = Apsp::compute_serial_with_engine(&g, ApspEngine::Bitset);
+        prop_assert_eq!(qa.dist_matrix(), ba.dist_matrix());
+    }
+
+    #[test]
+    fn apsp_engines_agree_on_dense_and_sparse_samples(n in 4usize..48, seed in any::<u64>()) {
+        let dense = generators::gnp_half(n, seed);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed ^ 0x5EED);
+        let sparse = generators::gnp(n, 0.08, &mut rng);
+        for g in [dense, sparse] {
+            let qa = Apsp::compute_serial_with_engine(&g, ApspEngine::Queue);
+            let ba = Apsp::compute_serial_with_engine(&g, ApspEngine::Bitset);
+            prop_assert_eq!(&qa, &ba);
+            // The public auto-selected entry point agrees with both.
+            let auto = Apsp::compute(&g);
+            prop_assert_eq!(&auto, &qa);
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_apsp_is_byte_identical(n in 2usize..60, seed in any::<u64>(), threads in 1usize..9) {
+        let g = generators::gnp_half(n, seed);
+        let serial = Apsp::compute_serial(&g);
+        let par = Apsp::compute_with_threads(&g, ApspEngine::Auto, threads);
+        prop_assert_eq!(serial.dist_matrix(), par.dist_matrix());
+    }
+
+    #[test]
+    fn reachability_matches_bfs(g in arb_graph(40)) {
+        let (dist, _) = bfs(&g, 0);
+        let reached = dist.iter().filter(|d| d.is_some()).count();
+        prop_assert_eq!(reachable_count(&g, 0), reached);
+        prop_assert_eq!(is_connected(&g), reached == g.node_count());
     }
 
     #[test]

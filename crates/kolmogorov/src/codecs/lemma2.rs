@@ -66,9 +66,9 @@ pub fn decode(bits: &BitVec, n: usize) -> Result<Graph, CodecError> {
     let u = read_node(&mut r, n)?;
     let v = read_node(&mut r, n)?;
     let mut row = vec![false; n];
-    for x in 0..n {
+    for (x, slot) in row.iter_mut().enumerate() {
         if x != u {
-            row[x] = r.read_bit()?;
+            *slot = r.read_bit()?;
         }
     }
     if row[v] {

@@ -81,9 +81,9 @@ pub fn decode(bits: &BitVec, n: usize, t: usize) -> Result<Graph, CodecError> {
     let u = read_node(&mut r, n)?;
     let w_node = read_node(&mut r, n)?;
     let mut row_u = vec![false; n];
-    for x in 0..n {
+    for (x, slot) in row_u.iter_mut().enumerate() {
         if x != u {
-            row_u[x] = r.read_bit()?;
+            *slot = r.read_bit()?;
         }
     }
     let prefix: Vec<NodeId> = (0..n).filter(|&x| row_u[x]).take(t).collect();
@@ -91,9 +91,9 @@ pub fn decode(bits: &BitVec, n: usize, t: usize) -> Result<Graph, CodecError> {
         return Err(CodecError::PreconditionViolated { reason: "decoded prefix too short" });
     }
     let mut row_w = vec![false; n];
-    for x in 0..n {
+    for (x, slot) in row_w.iter_mut().enumerate() {
         if x != w_node && x != u && !prefix.contains(&x) {
-            row_w[x] = r.read_bit()?;
+            *slot = r.read_bit()?;
         }
     }
     let del = deleted_positions(n, u, w_node);

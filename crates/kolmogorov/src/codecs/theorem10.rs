@@ -93,9 +93,9 @@ pub fn decode(bits: &BitVec, n: usize, eval: &EvalAllFn<'_>) -> Result<Graph, Co
     let mut r = BitReader::new(bits);
     let u = read_node(&mut r, n)?;
     let mut row = vec![false; n];
-    for x in 0..n {
+    for (x, slot) in row.iter_mut().enumerate() {
         if x != u {
-            row[x] = r.read_bit()?;
+            *slot = r.read_bit()?;
         }
     }
     let f_bits = codes::read_selfdelim_prime(&mut r)?;

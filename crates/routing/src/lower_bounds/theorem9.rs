@@ -142,8 +142,8 @@ mod tests {
         assert_eq!(g.node_count(), 18);
         assert_eq!(g.edge_count(), 36 + 6);
         // Middle node 6+i is adjacent to top node 12+sigma[i].
-        for i in 0..6 {
-            assert!(g.has_edge(6 + i, 12 + sigma[i]));
+        for (i, &s) in sigma.iter().enumerate() {
+            assert!(g.has_edge(6 + i, 12 + s));
         }
         // Bottom nodes still see all middles.
         for b in 0..6 {

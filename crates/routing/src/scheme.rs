@@ -200,7 +200,12 @@ pub trait LocalRouter {
 /// A complete routing scheme for one graph: per-node encoded routing
 /// functions, the labelling, and the port assignment, with honest size
 /// accounting.
-pub trait RoutingScheme {
+///
+/// `Send + Sync` is a supertrait so the verifier can fan its pair loop out
+/// across threads against one `&dyn RoutingScheme`. Schemes are plain
+/// decoded data (bit tables, labellings, port maps), so every
+/// implementation satisfies this automatically.
+pub trait RoutingScheme: Send + Sync {
     /// The model this scheme instance is valid in.
     fn model(&self) -> Model;
 

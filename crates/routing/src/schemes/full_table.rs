@@ -8,7 +8,7 @@
 
 use ort_bitio::{bits_to_index, BitReader, BitVec, BitWriter};
 use ort_graphs::labels::{Label, Labeling};
-use ort_graphs::paths::Apsp;
+use ort_graphs::paths::{Apsp, DistanceOracle};
 use ort_graphs::ports::PortAssignment;
 use ort_graphs::{Graph, NodeId};
 
@@ -55,6 +55,26 @@ impl FullTableScheme {
         Self::build_with(g, model, PortAssignment::sorted(g), Labeling::identity(g.node_count()))
     }
 
+    /// As [`FullTableScheme::build`], but reads distances from a shared
+    /// [`DistanceOracle`] instead of computing APSP internally — pass the
+    /// same oracle to `verify_scheme_with_oracle` and the construct/verify
+    /// pipeline costs one APSP computation total.
+    ///
+    /// # Errors
+    ///
+    /// As [`FullTableScheme::build`], plus [`SchemeError::Precondition`] if
+    /// the oracle's node count does not match `g`.
+    pub fn build_with_oracle(g: &Graph, oracle: &DistanceOracle) -> Result<Self, SchemeError> {
+        let model = Model::new(Knowledge::NeighborsKnown, Relabeling::None);
+        Self::build_with_parts(
+            g,
+            model,
+            PortAssignment::sorted(g),
+            Labeling::identity(g.node_count()),
+            oracle,
+        )
+    }
+
     /// Builds the scheme with an explicit model, port assignment and
     /// labelling — this is how the IA ∧ α (adversarial ports) and β
     /// (permuted labels) experiments instantiate it.
@@ -70,16 +90,40 @@ impl FullTableScheme {
         ports: PortAssignment,
         labeling: Labeling,
     ) -> Result<Self, SchemeError> {
+        let oracle = Apsp::compute(g).into_oracle();
+        Self::build_with_parts(g, model, ports, labeling, &oracle)
+    }
+
+    /// Fully explicit constructor: model, ports, labelling *and* distance
+    /// oracle. Connectivity is read off the oracle (row 0), so no separate
+    /// traversal runs.
+    ///
+    /// # Errors
+    ///
+    /// As [`FullTableScheme::build_with`], plus a precondition error on an
+    /// oracle/graph size mismatch.
+    pub fn build_with_parts(
+        g: &Graph,
+        model: Model,
+        ports: PortAssignment,
+        labeling: Labeling,
+        oracle: &DistanceOracle,
+    ) -> Result<Self, SchemeError> {
         if labeling.is_charged() {
             return Err(SchemeError::Precondition {
                 reason: "full table requires minimal (α/β) labels".into(),
             });
         }
-        if !ort_graphs::paths::is_connected(g) {
+        let apsp: &Apsp = oracle;
+        if apsp.node_count() != g.node_count() {
+            return Err(SchemeError::Precondition {
+                reason: "distance oracle does not match the graph".into(),
+            });
+        }
+        if !apsp.is_connected() {
             return Err(SchemeError::Disconnected);
         }
         let n = g.node_count();
-        let apsp = Apsp::compute(g);
         let mut bits = Vec::with_capacity(n);
         for u in 0..n {
             let width = bits_to_index(g.degree(u) as u64);

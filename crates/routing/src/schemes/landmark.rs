@@ -18,7 +18,7 @@
 
 use ort_bitio::{bits_to_index, BitReader, BitVec, BitWriter};
 use ort_graphs::labels::{Label, Labeling};
-use ort_graphs::paths::{bfs, Apsp};
+use ort_graphs::paths::{Apsp, DistanceOracle};
 use ort_graphs::ports::PortAssignment;
 use ort_graphs::{Graph, NodeId};
 use rand::rngs::StdRng;
@@ -78,11 +78,36 @@ impl LandmarkScheme {
         seed: u64,
         count: usize,
     ) -> Result<Self, SchemeError> {
+        let oracle = Apsp::compute(g).into_oracle();
+        Self::build_with_oracle_and_landmark_count(g, &oracle, seed, count)
+    }
+
+    /// As [`LandmarkScheme::build_with_landmark_count`], reading distances
+    /// from a shared [`DistanceOracle`] (one APSP can then serve
+    /// construction *and* verification). Connectivity and the per-landmark
+    /// toward-ports are both read off the oracle — no extra traversals.
+    ///
+    /// # Errors
+    ///
+    /// As [`LandmarkScheme::build`], plus a precondition error on an
+    /// oracle/graph size mismatch.
+    pub fn build_with_oracle_and_landmark_count(
+        g: &Graph,
+        oracle: &DistanceOracle,
+        seed: u64,
+        count: usize,
+    ) -> Result<Self, SchemeError> {
         let n = g.node_count();
         if n < 2 {
             return Err(SchemeError::Precondition { reason: "need at least 2 nodes".into() });
         }
-        if !ort_graphs::paths::is_connected(g) {
+        let apsp: &Apsp = oracle;
+        if apsp.node_count() != n {
+            return Err(SchemeError::Precondition {
+                reason: "distance oracle does not match the graph".into(),
+            });
+        }
+        if !apsp.is_connected() {
             return Err(SchemeError::Disconnected);
         }
         let count = count.clamp(1, n);
@@ -93,24 +118,23 @@ impl LandmarkScheme {
 
         let ports = PortAssignment::sorted(g);
         let w_node = bits_to_index(n as u64);
-        // BFS from each landmark: distance and the first port of each node
-        // towards the landmark.
-        let apsp = Apsp::compute(g);
+        // First port of each node towards each landmark, read from the
+        // landmark's APSP row. Ports are sorted-neighbour order, so "first
+        // strictly closer neighbour" matches the BFS parent this used to
+        // derive from a per-landmark traversal.
         let mut toward: Vec<Vec<usize>> = Vec::with_capacity(count); // [li][v] = port
         for &l in &landmarks {
-            let (dist, _) = bfs(g, l);
             let mut ports_to_l = vec![0usize; n];
-            for v in 0..n {
+            for (v, port) in ports_to_l.iter_mut().enumerate() {
                 if v == l {
                     continue;
                 }
-                let dv = dist[v].expect("connected");
-                let hop = g
+                let dv = apsp.distance(v, l).expect("connected");
+                *port = g
                     .neighbors(v)
                     .iter()
-                    .position(|&x| dist[x] == Some(dv - 1))
+                    .position(|&x| apsp.distance(x, l) == Some(dv - 1))
                     .expect("some neighbour is closer");
-                ports_to_l[v] = hop;
             }
             toward.push(ports_to_l);
         }

@@ -12,7 +12,7 @@
 
 use ort_bitio::{bits_to_index, codes, BitReader, BitVec, BitWriter};
 use ort_graphs::labels::{Label, Labeling};
-use ort_graphs::paths::Apsp;
+use ort_graphs::paths::{Apsp, DistanceOracle};
 use ort_graphs::ports::PortAssignment;
 use ort_graphs::{Graph, NodeId};
 
@@ -53,11 +53,29 @@ impl MultiIntervalScheme {
     ///
     /// Returns [`SchemeError::Disconnected`] for disconnected graphs.
     pub fn build(g: &Graph) -> Result<Self, SchemeError> {
+        let oracle = Apsp::compute(g).into_oracle();
+        Self::build_with_oracle(g, &oracle)
+    }
+
+    /// As [`MultiIntervalScheme::build`], reading distances from a shared
+    /// [`DistanceOracle`] (one APSP can then serve construction *and*
+    /// verification). Connectivity is read off the oracle.
+    ///
+    /// # Errors
+    ///
+    /// As [`MultiIntervalScheme::build`], plus a precondition error on an
+    /// oracle/graph size mismatch.
+    pub fn build_with_oracle(g: &Graph, oracle: &DistanceOracle) -> Result<Self, SchemeError> {
         let n = g.node_count();
-        if !ort_graphs::paths::is_connected(g) {
+        let apsp: &Apsp = oracle;
+        if apsp.node_count() != n {
+            return Err(SchemeError::Precondition {
+                reason: "distance oracle does not match the graph".into(),
+            });
+        }
+        if !apsp.is_connected() {
             return Err(SchemeError::Disconnected);
         }
-        let apsp = Apsp::compute(g);
         let ports = PortAssignment::sorted(g);
         let width = bits_to_index(n as u64);
         let mut bits = Vec::with_capacity(n);

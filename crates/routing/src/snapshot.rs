@@ -91,27 +91,24 @@ pub fn save(kind: SchemeKind, scheme: &dyn RoutingScheme) -> Result<BitVec, Sche
     w.write_bits(kind.code(), 5)?;
     codes::write_u64_selfdelim(&mut w, n as u64)?;
     // Kind-specific config.
-    match kind {
-        SchemeKind::FullTable => {
-            // Knowledge (2 bits) + relabeling (2 bits).
-            use crate::model::{Knowledge, Relabeling};
-            let m = scheme.model();
-            let k = match m.knowledge {
-                Knowledge::PortsFixed => 0u64,
-                Knowledge::PortsFree => 1,
-                Knowledge::NeighborsKnown => 2,
-            };
-            let r = match m.relabeling {
-                Relabeling::None => 0u64,
-                Relabeling::Permutation => 1,
-                Relabeling::Free => 2,
-            };
-            w.write_bits(k, 2)?;
-            w.write_bits(r, 2)?;
-        }
-        // Theorem 5's probe budget is derived from n (DEFAULT_C) at load
-        // time; the remaining kinds carry no extra config.
-        _ => {}
+    // Theorem 5's probe budget is derived from n (DEFAULT_C) at load time;
+    // only the full table carries extra config.
+    if kind == SchemeKind::FullTable {
+        // Knowledge (2 bits) + relabeling (2 bits).
+        use crate::model::{Knowledge, Relabeling};
+        let m = scheme.model();
+        let k = match m.knowledge {
+            Knowledge::PortsFixed => 0u64,
+            Knowledge::PortsFree => 1,
+            Knowledge::NeighborsKnown => 2,
+        };
+        let r = match m.relabeling {
+            Relabeling::None => 0u64,
+            Relabeling::Permutation => 1,
+            Relabeling::Free => 2,
+        };
+        w.write_bits(k, 2)?;
+        w.write_bits(r, 2)?;
     }
     // Port orders (this doubles as the topology).
     let pa = scheme.port_assignment();

@@ -9,7 +9,7 @@
 use std::error::Error;
 use std::fmt;
 
-use ort_graphs::paths::Apsp;
+use ort_graphs::paths::{Apsp, DistanceOracle};
 use ort_graphs::{Graph, NodeId};
 
 use crate::scheme::{MessageState, RouteDecision, RouteError, RoutingScheme, SchemeError};
@@ -187,36 +187,25 @@ pub fn default_hop_limit(n: usize) -> usize {
 /// undefined); per-pair routing problems are reported inside the
 /// [`VerifyReport`], not as errors.
 pub fn verify_scheme(g: &Graph, scheme: &dyn RoutingScheme) -> Result<VerifyReport, SchemeError> {
-    let apsp = Apsp::compute(g);
-    if apsp.diameter().is_none() && g.node_count() > 1 {
-        return Err(SchemeError::Disconnected);
-    }
-    let n = g.node_count();
-    let limit = default_hop_limit(n);
-    let mut report = VerifyReport {
-        delivered: 0,
-        failures: Vec::new(),
-        stretches: Vec::with_capacity(n * n),
-        total_hops: 0,
-    };
-    for s in 0..n {
-        for t in 0..n {
-            if s == t {
-                continue;
-            }
-            match route_pair(scheme, s, t, limit) {
-                Ok(path) => {
-                    let hops = (path.len() - 1) as u32;
-                    let dist = apsp.distance(s, t).expect("connected");
-                    report.delivered += 1;
-                    report.total_hops += u64::from(hops);
-                    report.stretches.push((hops, dist));
-                }
-                Err(f) => report.failures.push((s, t, f)),
-            }
-        }
-    }
-    Ok(report)
+    let oracle = Apsp::compute(g).into_oracle();
+    verify_scheme_with_oracle(g, scheme, &oracle)
+}
+
+/// As [`verify_scheme`], but measures stretch against a caller-supplied
+/// [`DistanceOracle`] instead of recomputing APSP. Pass the oracle the
+/// scheme was *built* from and the whole construct-then-verify pipeline
+/// costs exactly one APSP computation.
+///
+/// # Errors
+///
+/// Returns [`SchemeError::Precondition`] if the oracle's node count does
+/// not match `g`, and [`SchemeError::Disconnected`] as [`verify_scheme`].
+pub fn verify_scheme_with_oracle(
+    g: &Graph,
+    scheme: &dyn RoutingScheme,
+    oracle: &DistanceOracle,
+) -> Result<VerifyReport, SchemeError> {
+    verify_with(g, scheme, oracle, 1)
 }
 
 /// Verifies a sampled subset of pairs (for large graphs): every pair
@@ -230,15 +219,53 @@ pub fn verify_scheme_sampled(
     scheme: &dyn RoutingScheme,
     stride: usize,
 ) -> Result<VerifyReport, SchemeError> {
-    let apsp = Apsp::compute(g);
-    if apsp.diameter().is_none() && g.node_count() > 1 {
+    let oracle = Apsp::compute(g).into_oracle();
+    verify_with(g, scheme, &oracle, stride)
+}
+
+/// As [`verify_scheme_sampled`] with a caller-supplied oracle (see
+/// [`verify_scheme_with_oracle`]).
+///
+/// # Errors
+///
+/// As [`verify_scheme_with_oracle`].
+pub fn verify_scheme_sampled_with_oracle(
+    g: &Graph,
+    scheme: &dyn RoutingScheme,
+    oracle: &DistanceOracle,
+    stride: usize,
+) -> Result<VerifyReport, SchemeError> {
+    verify_with(g, scheme, oracle, stride)
+}
+
+/// Shared pair loop: full verification is the `stride == 1` case. The
+/// per-source work fans out across threads under the `parallel` feature;
+/// partial reports are merged back in source order, so the report is
+/// identical to the serial one, field for field.
+fn verify_with(
+    g: &Graph,
+    scheme: &dyn RoutingScheme,
+    apsp: &Apsp,
+    stride: usize,
+) -> Result<VerifyReport, SchemeError> {
+    let n = g.node_count();
+    if apsp.node_count() != n {
+        return Err(SchemeError::Precondition {
+            reason: "distance oracle does not match the graph".into(),
+        });
+    }
+    if !apsp.is_connected() && n > 1 {
         return Err(SchemeError::Disconnected);
     }
-    let n = g.node_count();
     let limit = default_hop_limit(n);
-    let mut report =
-        VerifyReport { delivered: 0, failures: Vec::new(), stretches: Vec::new(), total_hops: 0 };
-    for s in 0..n {
+    let stride = stride.max(1);
+    let partials = map_sources(n, |s| {
+        let mut p = VerifyReport {
+            delivered: 0,
+            failures: Vec::new(),
+            stretches: Vec::new(),
+            total_hops: 0,
+        };
         for t in 0..n {
             if s == t || (s + t) % stride != 0 {
                 continue;
@@ -247,15 +274,58 @@ pub fn verify_scheme_sampled(
                 Ok(path) => {
                     let hops = (path.len() - 1) as u32;
                     let dist = apsp.distance(s, t).expect("connected");
-                    report.delivered += 1;
-                    report.total_hops += u64::from(hops);
-                    report.stretches.push((hops, dist));
+                    p.delivered += 1;
+                    p.total_hops += u64::from(hops);
+                    p.stretches.push((hops, dist));
                 }
-                Err(f) => report.failures.push((s, t, f)),
+                Err(f) => p.failures.push((s, t, f)),
             }
         }
+        p
+    });
+    let mut report = VerifyReport {
+        delivered: 0,
+        failures: Vec::new(),
+        stretches: Vec::with_capacity(if stride == 1 { n * n } else { 0 }),
+        total_hops: 0,
+    };
+    for p in partials {
+        report.delivered += p.delivered;
+        report.failures.extend(p.failures);
+        report.stretches.extend(p.stretches);
+        report.total_hops += p.total_hops;
     }
     Ok(report)
+}
+
+/// Maps `f` over the sources `0..n`, returning results in source order.
+/// Parallel build: contiguous source blocks per worker thread, merged in
+/// block order — deterministic regardless of scheduling.
+#[cfg(feature = "parallel")]
+fn map_sources<R: Send>(n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let threads = ort_graphs::paths::configured_threads().min(n.max(1));
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n)
+            .step_by(chunk)
+            .map(|start| {
+                let f = &f;
+                s.spawn(move || (start..(start + chunk).min(n)).map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("verify worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(not(feature = "parallel"))]
+fn map_sources<R>(n: usize, f: impl Fn(usize) -> R) -> Vec<R> {
+    (0..n).map(f).collect()
 }
 
 #[cfg(test)]

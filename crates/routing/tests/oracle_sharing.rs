@@ -1,0 +1,60 @@
+//! The DistanceOracle contract: one APSP computation serves scheme
+//! construction *and* verification.
+//!
+//! Asserted via `ort_graphs::paths::apsp_compute_count`, a process-wide
+//! counter — which is why this file holds exactly one test: any
+//! concurrently running test that computes an APSP would perturb the
+//! deltas. Integration-test files get their own process, so isolation is
+//! guaranteed.
+
+use ort_graphs::generators;
+use ort_graphs::paths::{apsp_compute_count, Apsp};
+use ort_routing::schemes::full_table::FullTableScheme;
+use ort_routing::schemes::landmark::LandmarkScheme;
+use ort_routing::verify::{verify_scheme, verify_scheme_with_oracle};
+
+#[test]
+fn construct_and_verify_share_one_apsp() {
+    // Force multiple verifier threads even on single-core CI hosts, so the
+    // parallel merge path is exercised. Safe: this process runs one test.
+    std::env::set_var("ORT_THREADS", "3");
+    let g = generators::gnp_half(40, 9);
+
+    let before = apsp_compute_count();
+    let oracle = Apsp::compute(&g).into_oracle();
+    let scheme = FullTableScheme::build_with_oracle(&g, &oracle).unwrap();
+    let report = verify_scheme_with_oracle(&g, &scheme, &oracle).unwrap();
+    assert!(report.is_shortest_path());
+    assert_eq!(
+        apsp_compute_count() - before,
+        1,
+        "full_table build + verify must cost exactly one APSP computation"
+    );
+
+    // A second scheme against the same graph rides the same oracle for free.
+    let before = apsp_compute_count();
+    let lm = LandmarkScheme::build_with_oracle_and_landmark_count(&g, &oracle, 1, 6).unwrap();
+    let lm_report = verify_scheme_with_oracle(&g, &lm, &oracle).unwrap();
+    assert!(lm_report.all_delivered());
+    assert_eq!(apsp_compute_count() - before, 0, "landmark reuses the existing oracle");
+
+    // The legacy wrappers still work (recomputing once per call) and agree
+    // with the oracle-shared pipeline result for result.
+    let before = apsp_compute_count();
+    let legacy_scheme = FullTableScheme::build(&g).unwrap();
+    let legacy = verify_scheme(&g, &legacy_scheme).unwrap();
+    assert_eq!(apsp_compute_count() - before, 2, "wrappers compute one APSP each");
+    assert_eq!(legacy.delivered, report.delivered);
+    assert_eq!(legacy.total_hops, report.total_hops);
+    assert_eq!(legacy.stretches, report.stretches);
+
+    // Parallel and serial verification produce identical reports.
+    std::env::set_var("ORT_THREADS", "1");
+    let serial = verify_scheme_with_oracle(&g, &scheme, &oracle).unwrap();
+    std::env::set_var("ORT_THREADS", "3");
+    let parallel = verify_scheme_with_oracle(&g, &scheme, &oracle).unwrap();
+    assert_eq!(serial.delivered, parallel.delivered);
+    assert_eq!(serial.total_hops, parallel.total_hops);
+    assert_eq!(serial.stretches, parallel.stretches);
+    assert_eq!(serial.failures, parallel.failures);
+}

@@ -114,16 +114,16 @@ impl<'a> RoundSimulator<'a> {
         while in_flight > 0 && report.rounds < self.round_cap {
             report.rounds += 1;
             let mut arrivals: Vec<Vec<InFlight>> = vec![Vec::new(); n];
-            for u in 0..n {
+            for (u, queue) in queues.iter_mut().enumerate() {
                 let Ok(router) = self.scheme.decode_router(u) else {
-                    report.errored += queues[u].len();
-                    in_flight -= queues[u].len();
-                    queues[u].clear();
+                    report.errored += queue.len();
+                    in_flight -= queue.len();
+                    queue.clear();
                     continue;
                 };
                 let env = self.scheme.node_env(u);
                 for _ in 0..self.capacity {
-                    let Some(mut msg) = queues[u].pop_front() else { break };
+                    let Some(mut msg) = queue.pop_front() else { break };
                     let dest_label = self.scheme.label_of(msg.dst);
                     match router.route(&env, &dest_label, &mut msg.state) {
                         Ok(RouteDecision::Deliver) if u == msg.dst => {

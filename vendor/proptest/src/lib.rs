@@ -1,0 +1,405 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! cannot be fetched. This crate is wired in via `[patch.crates-io]` and
+//! implements the subset the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with an optional `#![proptest_config(...)]`
+//!   header) expanding each `fn name(pat in strategy, ...) { body }` into a
+//!   `#[test]` that runs the body over many generated cases;
+//! * [`Strategy`] with `prop_map` / `prop_flat_map`;
+//! * [`any`]`::<bool|u64|...>()`, integer and `f64` range strategies, and
+//!   [`collection::vec`];
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! Differences from the real crate: cases are generated from a fixed
+//! per-test seed (fully deterministic, no persistence files) and failing
+//! cases are **not shrunk** — the panic message simply carries the case
+//! index so the failure can be replayed by re-running the test.
+
+use std::ops::Range;
+
+/// The generator threaded through strategies. Deterministic splitmix64.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator for `(test_name, case_index)`.
+    #[must_use]
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng { state: h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)) }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        let zone = u64::MAX - (u64::MAX % span);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % span;
+            }
+        }
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The type of value generated.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, builds a new strategy from it, and samples that.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn new_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.new_value(rng)).new_value(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u64, u32, u16, u8);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + (self.end - self.start) * unit
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        rng.next_u64() as u32
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> u8 {
+        rng.next_u64() as u8
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut TestRng) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The unconstrained strategy for `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// A length specification: an exact size or a range of sizes.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + if span > 1 { rng.below(span) as usize } else { 0 };
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner configuration.
+pub mod test_runner {
+    /// How many cases each property test runs.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // The real proptest default is 256; this offline stand-in uses
+            // a smaller default so debug-mode `cargo test` stays quick.
+            Config { cases: 48 }
+        }
+    }
+}
+
+/// The conventional alias used in `#![proptest_config(...)]` headers.
+pub use test_runner::Config as ProptestConfig;
+
+/// Why a generated case was rejected (`return Ok(())` / `Err(...)` in test
+/// bodies). This stand-in never rejects on its own.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests. See the crate docs for the supported shape.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { (<$crate::ProptestConfig as Default>::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut __rng = $crate::TestRng::for_case(stringify!($name), case);
+                    let run = || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $(
+                            let $arg = $crate::Strategy::new_value(&($strat), &mut __rng);
+                        )+
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    };
+                    let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run));
+                    match outcome {
+                        Ok(Ok(())) => {}
+                        Ok(Err(reject)) => panic!(
+                            "proptest stand-in: test {} rejected case {}/{}: {}",
+                            stringify!($name), case, config.cases, reject
+                        ),
+                        Err(payload) => {
+                            eprintln!(
+                                "proptest stand-in: test {} failed at case {}/{} (deterministic; re-run reproduces it)",
+                                stringify!($name), case, config.cases
+                            );
+                            ::std::panic::resume_unwind(payload);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_generation() {
+        let s = 3usize..17;
+        let mut a = crate::TestRng::for_case("t", 0);
+        let mut b = crate::TestRng::for_case("t", 0);
+        for _ in 0..50 {
+            assert_eq!(s.new_value(&mut a), s.new_value(&mut b));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_and_vecs(n in 2usize..40, bits in crate::collection::vec(any::<bool>(), 0..64)) {
+            prop_assert!((2..40).contains(&n));
+            prop_assert!(bits.len() < 64);
+        }
+
+        #[test]
+        fn flat_map_composes(v in (1usize..5).prop_flat_map(|n| crate::collection::vec(any::<u8>(), n)).prop_map(|v| v.len())) {
+            prop_assert!((1..5).contains(&v));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_header_accepted(x in any::<u64>()) {
+            prop_assert_ne!(x, x.wrapping_add(1));
+        }
+    }
+}

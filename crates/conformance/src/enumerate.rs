@@ -1,0 +1,173 @@
+//! Exhaustive small-graph enumeration.
+//!
+//! For `n ≤ 7` every connected graph (one representative per isomorphism
+//! class) is enumerated by walking all `2^{n(n−1)/2}` edge masks and
+//! keeping the masks that are lexicographic minima over the `n!` vertex
+//! permutations — the brute-force canonical form. Each representative is
+//! round-tripped through the `graph6` interchange format before use, so
+//! the enumeration doubles as an exhaustive graph6 conformance test
+//! against external tools' graph lists (counts match OEIS A001349).
+
+use ort_graphs::{graph6, Graph};
+
+/// Number of unordered pairs on `n` nodes.
+fn pair_count(n: usize) -> usize {
+    n * n.saturating_sub(1) / 2
+}
+
+/// All permutations of `0..n` (plain recursion; `n ≤ 7` ⇒ ≤ 5040).
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<usize> = (0..n).collect();
+    fn rec(cur: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
+        if k == cur.len() {
+            out.push(cur.clone());
+            return;
+        }
+        for i in k..cur.len() {
+            cur.swap(k, i);
+            rec(cur, k + 1, out);
+            cur.swap(k, i);
+        }
+    }
+    rec(&mut cur, 0, &mut out);
+    out
+}
+
+/// Applies a vertex permutation to an edge mask.
+fn permute_mask(n: usize, mask: u64, perm: &[usize]) -> u64 {
+    let mut out = 0u64;
+    for i in 0..pair_count(n) {
+        if mask >> i & 1 == 1 {
+            let (u, v) = Graph::index_to_edge(n, i);
+            out |= 1 << Graph::edge_index(n, perm[u], perm[v]);
+        }
+    }
+    out
+}
+
+/// Connectivity check directly on the mask (union-find would be overkill:
+/// a BFS over an adjacency word per node).
+fn mask_connected(n: usize, mask: u64) -> bool {
+    if n == 0 {
+        return false;
+    }
+    let mut adj = vec![0u64; n];
+    for i in 0..pair_count(n) {
+        if mask >> i & 1 == 1 {
+            let (u, v) = Graph::index_to_edge(n, i);
+            adj[u] |= 1 << v;
+            adj[v] |= 1 << u;
+        }
+    }
+    let mut seen = 1u64;
+    let mut frontier = 1u64;
+    while frontier != 0 {
+        let mut next = 0u64;
+        let mut f = frontier;
+        while f != 0 {
+            let u = f.trailing_zeros() as usize;
+            f &= f - 1;
+            next |= adj[u] & !seen;
+        }
+        seen |= next;
+        frontier = next;
+    }
+    seen.count_ones() as usize == n
+}
+
+/// Builds the graph for an edge mask.
+fn mask_to_graph(n: usize, mask: u64) -> Graph {
+    let mut g = Graph::empty(n);
+    for i in 0..pair_count(n) {
+        if mask >> i & 1 == 1 {
+            let (u, v) = Graph::index_to_edge(n, i);
+            g.add_edge(u, v).expect("valid pair");
+        }
+    }
+    g
+}
+
+/// One representative per isomorphism class of *connected* graphs on
+/// exactly `n` nodes, each round-tripped through graph6.
+///
+/// # Panics
+///
+/// Panics if `n > 7` (the brute-force canonical form is for small `n`
+/// only) or if the graph6 round trip is not the identity — the latter is
+/// itself a conformance check.
+#[must_use]
+pub fn connected_graphs(n: usize) -> Vec<Graph> {
+    assert!(n <= 7, "exhaustive enumeration is for n ≤ 7 (got {n})");
+    if n == 0 {
+        return Vec::new();
+    }
+    let perms = permutations(n);
+    let bits = pair_count(n);
+    let mut out = Vec::new();
+    for mask in 0..(1u64 << bits) {
+        if !mask_connected(n, mask) {
+            continue;
+        }
+        // Keep only the lexicographically-minimal mask of each class.
+        if perms.iter().any(|p| permute_mask(n, mask, p) < mask) {
+            continue;
+        }
+        let g = mask_to_graph(n, mask);
+        let s = graph6::to_graph6(&g).expect("n ≤ 7 fits graph6");
+        let back = graph6::from_graph6(&s).expect("own output parses");
+        assert_eq!(back, g, "graph6 round trip must be the identity");
+        out.push(back);
+    }
+    out
+}
+
+/// Representatives of every connected graph on `2..=max_n` nodes, with
+/// their node counts.
+#[must_use]
+pub fn connected_graphs_upto(max_n: usize) -> Vec<(usize, Vec<Graph>)> {
+    (2..=max_n).map(|n| (n, connected_graphs(n))).collect()
+}
+
+/// The number of connected graphs on `n` nodes up to isomorphism
+/// (OEIS A001349) — the enumeration's ground truth.
+#[must_use]
+pub fn expected_count(n: usize) -> Option<usize> {
+    [1, 1, 1, 2, 6, 21, 112, 853].get(n).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_oeis_a001349() {
+        for n in 1..=5 {
+            assert_eq!(
+                connected_graphs(n).len(),
+                expected_count(n).unwrap(),
+                "connected graph count at n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn representatives_are_connected_and_distinct() {
+        let graphs = connected_graphs(5);
+        for g in &graphs {
+            assert!(ort_graphs::paths::is_connected(g));
+            assert_eq!(g.node_count(), 5);
+        }
+        let mut sigs: Vec<String> =
+            graphs.iter().map(|g| graph6::to_graph6(g).unwrap()).collect();
+        sigs.sort();
+        sigs.dedup();
+        assert_eq!(sigs.len(), graphs.len());
+    }
+
+    #[test]
+    fn permutation_count() {
+        assert_eq!(permutations(4).len(), 24);
+        assert_eq!(permutations(1).len(), 1);
+    }
+}

@@ -50,6 +50,18 @@ pub enum SchemeKind {
 }
 
 impl SchemeKind {
+    /// Every snapshot-capable kind, in code order — the conformance suite
+    /// iterates this to guarantee no kind escapes coverage.
+    pub const ALL: [SchemeKind; 7] = [
+        SchemeKind::FullTable,
+        SchemeKind::Theorem1,
+        SchemeKind::Theorem1Ib,
+        SchemeKind::Theorem2,
+        SchemeKind::Theorem5,
+        SchemeKind::FullInformation,
+        SchemeKind::MultiInterval,
+    ];
+
     fn code(self) -> u64 {
         match self {
             SchemeKind::FullTable => 0,
@@ -173,6 +185,13 @@ pub fn load(data: &BitVec) -> Result<Box<dyn RoutingScheme>, SchemeError> {
     }
     let kind = SchemeKind::from_code(r.read_bits(5)?).ok_or_else(|| bad("unknown kind"))?;
     let n = codes::read_u64_selfdelim(&mut r)? as usize;
+    // Every node contributes at least its degree field (≥ 1 bit), so a
+    // valid snapshot can never declare more nodes than it has bits left.
+    // Without this guard a corrupted length field drives the
+    // `with_capacity` calls below into a pathological allocation.
+    if n > data.len() {
+        return Err(bad("node count exceeds snapshot size"));
+    }
     // Kind-specific config.
     let ft_model = if kind == SchemeKind::FullTable {
         use crate::model::{Knowledge, Model, Relabeling};

@@ -4,6 +4,7 @@
 //! ort certify <n> <seed>                  check Lemmas 1-3 + compressibility
 //! ort build   <scheme> <n> <seed>         build a scheme, print size & stretch
 //! ort route   <scheme> <n> <seed> <s> <t> route one message, print the path
+//! ort conformance [out.json]              run the full conformance suite
 //! ort schemes                             list available schemes
 //! ```
 //!
@@ -63,6 +64,7 @@ fn usage() -> ExitCode {
     eprintln!("  ort route   <scheme> <n> <seed> <src> <dst>");
     eprintln!("  ort save    <scheme> <n> <seed> <file>   (snapshot-capable schemes)");
     eprintln!("  ort load    <file> <src> <dst>");
+    eprintln!("  ort conformance [out.json]               (default results/CONFORMANCE.json)");
     eprintln!("  ort schemes");
     ExitCode::FAILURE
 }
@@ -238,6 +240,31 @@ fn run() -> Result<(), String> {
                 scheme.model()
             );
             Ok(())
+        }
+        Some("conformance") => {
+            use optimal_routing_tables::conformance::report;
+            let out = args
+                .get(1)
+                .map_or("results/CONFORMANCE.json", String::as_str);
+            let config = report::Config::default();
+            let result = report::run(&config, |line| println!("{line}"))?;
+            let json = report::to_json(&result).pretty();
+            if let Some(dir) = std::path::Path::new(out).parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+                }
+            }
+            std::fs::write(out, &json).map_err(|e| e.to_string())?;
+            println!("wrote {out}");
+            if result.pass() {
+                println!("conformance: PASS");
+                Ok(())
+            } else {
+                for v in &result.violations {
+                    eprintln!("violation: {v}");
+                }
+                Err(format!("conformance: FAIL ({} violations)", result.violations.len()))
+            }
         }
         _ => {
             usage();

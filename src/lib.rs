@@ -16,6 +16,9 @@
 //!   baselines, verification, and the Theorem 6–10 lower-bound accounting.
 //! * [`simnet`] — a message-passing simulator that runs schemes from their
 //!   decoded bits only.
+//! * [`conformance`] — the cross-scheme differential oracle, snapshot
+//!   fuzzer, and machine-checked Table 1 bound suite behind
+//!   `ort conformance` and `results/CONFORMANCE.json`.
 //!
 //! # Quickstart
 //!
@@ -46,6 +49,7 @@
 #![forbid(unsafe_code)]
 
 pub use ort_bitio as bitio;
+pub use ort_conformance as conformance;
 pub use ort_graphs as graphs;
 pub use ort_kolmogorov as kolmogorov;
 pub use ort_routing as routing;

@@ -1,0 +1,56 @@
+//! Thread-count determinism: APSP and scheme verification must produce
+//! byte-identical results whether they run on 1, 2 or 8 worker threads.
+//! `ORT_THREADS` is read per call, so one test can sweep the matrix; the
+//! test lives in its own integration binary so the env mutation cannot
+//! race another test. CI additionally runs the whole suite under an
+//! `ORT_THREADS` matrix (see `.github/workflows/ci.yml`).
+
+use optimal_routing_tables::graphs::generators;
+use optimal_routing_tables::graphs::paths::Apsp;
+use optimal_routing_tables::routing::schemes::full_table::FullTableScheme;
+use optimal_routing_tables::routing::schemes::theorem1::Theorem1Scheme;
+use optimal_routing_tables::routing::verify::{verify_scheme_with_oracle, VerifyReport};
+
+fn report_fingerprint(r: &VerifyReport) -> (usize, u64, Vec<(u32, u32)>, usize) {
+    (r.delivered, r.total_hops, r.stretches.clone(), r.failures.len())
+}
+
+#[test]
+fn apsp_and_verification_are_thread_count_invariant() {
+    let g = generators::gnp_half(64, 5);
+
+    let mut dist_matrices: Vec<Vec<u32>> = Vec::new();
+    let mut ft_reports = Vec::new();
+    let mut t1_reports = Vec::new();
+
+    for threads in ["1", "2", "8"] {
+        // `configured_threads()` re-reads the env var on every call, so
+        // setting it here reconfigures the next compute/verify.
+        std::env::set_var("ORT_THREADS", threads);
+
+        let apsp = Apsp::compute(&g);
+        dist_matrices.push(apsp.dist_matrix().to_vec());
+        let oracle = apsp.into_oracle();
+
+        let ft = FullTableScheme::build_with_oracle(&g, &oracle).expect("full table");
+        ft_reports.push(report_fingerprint(
+            &verify_scheme_with_oracle(&g, &ft, &oracle).expect("verify full table"),
+        ));
+
+        let t1 = Theorem1Scheme::build(&g).expect("theorem 1 on G(64,1/2)");
+        t1_reports.push(report_fingerprint(
+            &verify_scheme_with_oracle(&g, &t1, &oracle).expect("verify theorem 1"),
+        ));
+    }
+    std::env::remove_var("ORT_THREADS");
+
+    for i in 1..dist_matrices.len() {
+        assert_eq!(
+            dist_matrices[0], dist_matrices[i],
+            "APSP distance matrix differs between 1 and {} threads",
+            [1, 2, 8][i]
+        );
+        assert_eq!(ft_reports[0], ft_reports[i], "full-table report differs");
+        assert_eq!(t1_reports[0], t1_reports[i], "theorem-1 report differs");
+    }
+}

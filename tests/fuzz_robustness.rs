@@ -2,25 +2,21 @@
 //! every decoder must produce clean errors (or wrong-but-well-formed
 //! graphs/routes), never panics. This matters because the lower-bound
 //! experiments *intentionally* run decoders over adversarial content.
+//!
+//! The noise and corruption here come from the conformance crate's shared
+//! mutation engine (`conformance::mutate`), the same one `ort conformance`
+//! drives for ≥ 10k snapshot mutations in CI — one engine, one seed
+//! discipline, reproducible failures everywhere.
 
 use proptest::prelude::*;
 
-use optimal_routing_tables::bitio::{BitReader, BitVec};
+use optimal_routing_tables::bitio::BitReader;
+use optimal_routing_tables::conformance::mutate::{mutate, random_bits};
 use optimal_routing_tables::graphs::{generators, Graph};
 use optimal_routing_tables::kolmogorov::codecs::{lemma1, lemma2, lemma3};
 use optimal_routing_tables::routing::scheme::RoutingScheme;
 use optimal_routing_tables::routing::schemes::theorem1::Theorem1Scheme;
 use optimal_routing_tables::routing::verify::verify_scheme;
-
-fn random_bits(seed: u64, len: usize) -> BitVec {
-    let mut state = seed | 1;
-    (0..len)
-        .map(|_| {
-            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1442695040888963407);
-            (state >> 63) & 1 == 1
-        })
-        .collect()
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -37,39 +33,36 @@ proptest! {
     }
 
     #[test]
-    fn codec_decoders_never_panic_on_bitflips(seed in any::<u64>()) {
-        // Start from a *valid* encoding and flip one bit — the adversarial
-        // case closest to passing validation.
+    fn codec_decoders_never_panic_on_mutants(seed in any::<u64>()) {
+        // Start from *valid* encodings and run the structure-aware mutation
+        // engine over them — truncations, bursts and length-field flips are
+        // the adversarial cases closest to passing validation.
         let g = generators::connected_gnp(30, 0.12, seed % 100);
         if let Some((u, v)) = lemma2::find_distant_pair(&g) {
             let enc = lemma2::encode(&g, u, v).unwrap();
-            for i in (0..enc.len()).step_by(17) {
-                let mut bad = enc.clone();
-                bad.set(i, !bad.get(i).unwrap());
+            for i in 0..24 {
+                let (bad, _) = mutate(&enc, seed.wrapping_add(i));
                 let _ = lemma2::decode(&bad, 30);
             }
         }
         let enc = lemma1::encode(&g, 3).unwrap();
-        for i in (0..enc.len()).step_by(13) {
-            let mut bad = enc.clone();
-            bad.set(i, !bad.get(i).unwrap());
+        for i in 0..24 {
+            let (bad, _) = mutate(&enc, seed.wrapping_add(1000 + i));
             let _ = lemma1::decode(&bad, 30);
         }
     }
 
     #[test]
-    fn corrupted_routing_tables_fail_cleanly(seed in any::<u64>(), flip in any::<u64>()) {
+    fn corrupted_routing_tables_fail_cleanly(seed in any::<u64>(), mseed in any::<u64>()) {
         let g = generators::gnp_half(32, seed % 50);
         let Ok(mut scheme) = Theorem1Scheme::build(&g) else { return Ok(()); };
-        // Flip one bit in one node's table via the public clone-and-rebuild
-        // path: re-verify must complete without panicking, reporting either
-        // success (bit was in table-2 padding) or failures.
-        let victim = (flip % 32) as usize;
+        // Mutate one node's table via the public clone-and-rebuild path:
+        // re-verify must complete without panicking, reporting either
+        // success (mutation landed in don't-care bits) or failures.
+        let victim = (mseed % 32) as usize;
         let bits = scheme.node_bits(victim).clone();
         if bits.is_empty() { return Ok(()); }
-        let pos = (flip as usize / 32) % bits.len();
-        let mut corrupted = bits.clone();
-        corrupted.set(pos, !corrupted.get(pos).unwrap());
+        let (corrupted, _) = mutate(&bits, mseed);
         scheme.replace_node_bits(victim, corrupted);
         let report = verify_scheme(&g, &scheme).unwrap();
         // Either everything still works (rare) or failures are reported.

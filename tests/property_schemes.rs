@@ -5,12 +5,13 @@
 use proptest::prelude::*;
 
 use optimal_routing_tables::graphs::generators;
+use optimal_routing_tables::graphs::ports::PortAssignment;
 use optimal_routing_tables::routing::scheme::RoutingScheme;
 use optimal_routing_tables::routing::schemes::{
     full_information::FullInformationScheme, full_table::FullTableScheme,
-    interval::IntervalScheme, landmark::LandmarkScheme, theorem1::Theorem1Scheme,
-    theorem2::Theorem2Scheme, theorem3::Theorem3Scheme, theorem4::Theorem4Scheme,
-    theorem5::Theorem5Scheme,
+    ia_compact::IaCompactScheme, interval::IntervalScheme, landmark::LandmarkScheme,
+    multi_interval::MultiIntervalScheme, theorem1::Theorem1Scheme, theorem2::Theorem2Scheme,
+    theorem3::Theorem3Scheme, theorem4::Theorem4Scheme, theorem5::Theorem5Scheme,
 };
 use optimal_routing_tables::routing::verify::verify_scheme;
 
@@ -24,6 +25,18 @@ proptest! {
         // Lemma 3 preconditions; constructors must then refuse rather than
         // misroute. When they accept, the bound must hold.
         if let Ok(s) = Theorem1Scheme::build(&g) {
+            let r = verify_scheme(&g, &s).unwrap();
+            prop_assert!(r.is_shortest_path());
+        }
+        if let Ok(s) = Theorem1Scheme::build_ib(&g) {
+            // Model IB: the interconnection vector rides along, but routing
+            // must stay shortest-path.
+            let r = verify_scheme(&g, &s).unwrap();
+            prop_assert!(r.is_shortest_path());
+        }
+        if let Ok(s) = IaCompactScheme::build(&g, PortAssignment::sorted(&g)) {
+            // IA ∧ α: fixed port assignment, Theorem 8's constant — still
+            // exact shortest paths when the precondition holds.
             let r = verify_scheme(&g, &s).unwrap();
             prop_assert!(r.is_shortest_path());
         }
@@ -63,6 +76,9 @@ proptest! {
 
         let iv = IntervalScheme::build(&g).unwrap();
         prop_assert!(verify_scheme(&g, &iv).unwrap().all_delivered());
+
+        let mi = MultiIntervalScheme::build(&g).unwrap();
+        prop_assert!(verify_scheme(&g, &mi).unwrap().is_shortest_path());
 
         let lm = LandmarkScheme::build(&g, seed).unwrap();
         prop_assert!(verify_scheme(&g, &lm).unwrap().all_delivered());

@@ -163,6 +163,27 @@ pub enum RouteDecision {
     ForwardAny(Vec<usize>),
 }
 
+impl RouteDecision {
+    /// The port a fault-free executor takes: the forward port, or the
+    /// first advertised alternative. `None` for [`RouteDecision::Deliver`]
+    /// or an empty alternative list.
+    #[must_use]
+    pub fn primary_port(&self) -> Option<usize> {
+        match self {
+            RouteDecision::Deliver => None,
+            RouteDecision::Forward(p) => Some(*p),
+            RouteDecision::ForwardAny(ports) => ports.first().copied(),
+        }
+    }
+
+    /// Whether the decision advertises more than one usable port —
+    /// i.e. carries native failover information.
+    #[must_use]
+    pub fn is_multipath(&self) -> bool {
+        matches!(self, RouteDecision::ForwardAny(ports) if ports.len() > 1)
+    }
+}
+
 /// Message scratch state carried in the header.
 ///
 /// The paper's model lets messages carry their destination; the Theorem 5

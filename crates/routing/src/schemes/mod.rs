@@ -16,6 +16,11 @@
 //! | [`interval`] | interval routing (related work [1]) | IB ∧ β | tree-bound | `O(d log n)` bits/node |
 //! | [`multi_interval`] | k-interval shortest path (related work [1]) | IB ∧ α | 1 | interval-count-bound |
 //! | [`landmark`] | hub scheme in the spirit of Peleg–Upfal [9] | II ∧ γ | small constant | `o(n²)` total |
+//!
+//! [`resilient`] is not a construction but an *adapter*: it wraps any of
+//! the above with bounded deterministic local detours, recovering part of
+//! the link-failure resilience that only [`full_information`] has natively
+//! — at zero additional table bits.
 
 pub mod full_information;
 pub mod full_table;
@@ -23,6 +28,7 @@ pub mod ia_compact;
 pub mod interval;
 pub mod landmark;
 pub mod multi_interval;
+pub mod resilient;
 pub mod theorem1;
 pub mod theorem2;
 pub mod theorem3;

@@ -5,12 +5,16 @@
 //! **decoded from the node's stored bits** — the same locality discipline
 //! the paper's model imposes. On top of `ort-routing`'s verifier it adds:
 //!
-//! * **link failures** ([`Network::fail_link`]) — full-information schemes
-//!   (Section 1: "allow alternative, shortest, paths to be taken whenever
-//!   an outgoing link is down") re-route around failed links; single-path
-//!   schemes report the failure;
+//! * **fault injection** ([`faults`]) — a seeded, timed [`faults::FaultPlan`]
+//!   of link failures, node crashes and bipartitions, applied on a per-send
+//!   epoch clock; full-information schemes (Section 1: "allow alternative,
+//!   shortest, paths to be taken whenever an outgoing link is down")
+//!   re-route around failed links, single-path schemes report the failure;
 //! * **traces** — every delivery records the exact node path;
-//! * **statistics** ([`Network::stats`]) — messages, hops, failures.
+//! * **statistics** ([`Network::stats`]) — messages, hops, and failures
+//!   broken down by reason ([`FailureBreakdown`]);
+//! * **resilience sweeps** ([`resilience`]) — graceful-degradation metrics
+//!   per scheme and fault intensity, behind `ort resilience`.
 //!
 //! # Example
 //!
@@ -29,7 +33,7 @@
 //! let before = net.send(0, t)?;
 //! // Cut the first link the route used; full information finds another
 //! // shortest path.
-//! net.fail_link(before.path[0], before.path[1]);
+//! assert!(net.fail_link(before.path[0], before.path[1]));
 //! let after = net.send(0, t)?;
 //! assert_eq!(after.hops(), before.hops());
 //! # Ok(())
@@ -39,15 +43,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
+pub mod resilience;
 pub mod rounds;
 pub mod workloads;
 
-use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
 
 use ort_graphs::NodeId;
 use ort_routing::scheme::{MessageState, RouteDecision, RouteError, RoutingScheme};
+
+use crate::faults::{FaultPlan, FaultState, HopFault, InvalidFault};
 
 /// Why the simulator could not deliver a message.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,6 +76,19 @@ pub enum SimError {
         /// alternative was down.
         to: Option<NodeId>,
     },
+    /// The route needed a node that has crashed (source, transit, or
+    /// destination).
+    NodeCrashed {
+        /// The crashed node.
+        node: NodeId,
+    },
+    /// The route needed a link that crosses the active bipartition cut.
+    Partitioned {
+        /// Node that tried to cross the cut.
+        at: NodeId,
+        /// The neighbour on the other side.
+        to: NodeId,
+    },
     /// A router claimed delivery at the wrong node.
     Misdelivered {
         /// The impostor node.
@@ -78,6 +98,11 @@ pub enum SimError {
     HopLimit {
         /// The exhausted budget.
         limit: usize,
+    },
+    /// The message's time-to-live expired (round simulator only).
+    TtlExpired {
+        /// The exhausted TTL, in rounds.
+        ttl: u32,
     },
     /// The source or destination node id was out of range.
     NodeOutOfRange {
@@ -96,8 +121,13 @@ impl fmt::Display for SimError {
             SimError::LinkDown { at, to: None } => {
                 write!(f, "every advertised link out of {at} is down")
             }
+            SimError::NodeCrashed { node } => write!(f, "node {node} has crashed"),
+            SimError::Partitioned { at, to } => {
+                write!(f, "link {at}–{to} crosses the partition cut")
+            }
             SimError::Misdelivered { at } => write!(f, "misdelivered at node {at}"),
             SimError::HopLimit { limit } => write!(f, "hop limit {limit} exhausted"),
+            SimError::TtlExpired { ttl } => write!(f, "TTL of {ttl} rounds expired"),
             SimError::NodeOutOfRange { node } => write!(f, "node {node} out of range"),
         }
     }
@@ -120,6 +150,74 @@ impl Delivery {
     }
 }
 
+/// Failure counts keyed by [`SimError`] variant, so degradation under
+/// faults is *attributable* — a resilience report can distinguish "the
+/// destination was genuinely cut off" from "the scheme gave up although a
+/// route existed".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FailureBreakdown {
+    /// [`SimError::Router`] failures.
+    pub router: u64,
+    /// [`SimError::LinkDown`] failures.
+    pub link_down: u64,
+    /// [`SimError::NodeCrashed`] failures.
+    pub node_crashed: u64,
+    /// [`SimError::Partitioned`] failures.
+    pub partitioned: u64,
+    /// [`SimError::Misdelivered`] failures.
+    pub misdelivered: u64,
+    /// [`SimError::HopLimit`] failures.
+    pub hop_limit: u64,
+    /// [`SimError::TtlExpired`] failures.
+    pub ttl_expired: u64,
+    /// [`SimError::NodeOutOfRange`] failures.
+    pub node_out_of_range: u64,
+}
+
+impl FailureBreakdown {
+    /// Tallies one failure.
+    pub fn record(&mut self, e: &SimError) {
+        match e {
+            SimError::Router { .. } => self.router += 1,
+            SimError::LinkDown { .. } => self.link_down += 1,
+            SimError::NodeCrashed { .. } => self.node_crashed += 1,
+            SimError::Partitioned { .. } => self.partitioned += 1,
+            SimError::Misdelivered { .. } => self.misdelivered += 1,
+            SimError::HopLimit { .. } => self.hop_limit += 1,
+            SimError::TtlExpired { .. } => self.ttl_expired += 1,
+            SimError::NodeOutOfRange { .. } => self.node_out_of_range += 1,
+        }
+    }
+
+    /// Total failures across all reasons.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.router
+            + self.link_down
+            + self.node_crashed
+            + self.partitioned
+            + self.misdelivered
+            + self.hop_limit
+            + self.ttl_expired
+            + self.node_out_of_range
+    }
+
+    /// `(name, count)` pairs in a stable report order.
+    #[must_use]
+    pub fn entries(&self) -> [(&'static str, u64); 8] {
+        [
+            ("router", self.router),
+            ("link_down", self.link_down),
+            ("node_crashed", self.node_crashed),
+            ("partitioned", self.partitioned),
+            ("misdelivered", self.misdelivered),
+            ("hop_limit", self.hop_limit),
+            ("ttl_expired", self.ttl_expired),
+            ("node_out_of_range", self.node_out_of_range),
+        ]
+    }
+}
+
 /// Aggregate statistics over the life of a [`Network`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Stats {
@@ -129,12 +227,20 @@ pub struct Stats {
     pub failed: u64,
     /// Total hops across delivered messages.
     pub total_hops: u64,
+    /// Failures broken down by reason (`failures.total() == failed`).
+    pub failures: FailureBreakdown,
+    /// Times a multipath router's *non-first* advertised port was taken
+    /// because an earlier one was unusable — the failovers that saved a
+    /// message from a fault.
+    pub reroutes: u64,
 }
 
 /// A simulated network running one routing scheme.
 pub struct Network<'a> {
     scheme: &'a dyn RoutingScheme,
-    failed: HashSet<(NodeId, NodeId)>,
+    faults: FaultState,
+    plan: Option<FaultPlan>,
+    epoch: u64,
     stats: Stats,
     hop_limit: usize,
     loads: Vec<u64>,
@@ -147,7 +253,9 @@ impl<'a> Network<'a> {
         let n = scheme.node_count();
         Network {
             scheme,
-            failed: HashSet::new(),
+            faults: FaultState::new(scheme.port_assignment()),
+            plan: None,
+            epoch: 0,
             stats: Stats::default(),
             hop_limit: ort_routing::verify::default_hop_limit(n),
             loads: vec![0; n],
@@ -165,20 +273,57 @@ impl<'a> Network<'a> {
         self.scheme.node_count()
     }
 
-    /// Marks the link `{u, v}` as failed (both directions).
-    pub fn fail_link(&mut self, u: NodeId, v: NodeId) {
-        self.failed.insert(key(u, v));
+    /// Installs a timed fault plan, validated event by event against the
+    /// topology. The plan's clock is the send epoch: an event at time `k`
+    /// fires before the `k`-th subsequent [`Network::send`] (0-based from
+    /// now — installing a plan resets the epoch clock). Replaces any
+    /// previous plan; manual [`Network::fail_link`] /
+    /// [`Network::restore_link`] calls still apply on top.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`InvalidFault`] if any event names a link or
+    /// node the topology does not have; no event is applied.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) -> Result<(), InvalidFault> {
+        let mut probe = self.faults.clone();
+        for e in plan.events() {
+            probe.apply(&e.event)?;
+        }
+        self.plan = Some(plan);
+        self.epoch = 0;
+        self.faults = FaultState::new(self.scheme.port_assignment());
+        Ok(())
     }
 
-    /// Restores a previously failed link.
-    pub fn restore_link(&mut self, u: NodeId, v: NodeId) {
-        self.failed.remove(&key(u, v));
+    /// Marks the link `{u, v}` as failed (both directions). Returns
+    /// `false` — and changes nothing — if `{u, v}` is not an edge of the
+    /// topology, so tests cannot "fail" a link that never existed.
+    pub fn fail_link(&mut self, u: NodeId, v: NodeId) -> bool {
+        self.faults.fail_link(u, v)
     }
 
-    /// Whether the link `{u, v}` is currently failed.
+    /// Restores a previously failed link. Returns `false` if `{u, v}` is
+    /// not an edge of the topology.
+    pub fn restore_link(&mut self, u: NodeId, v: NodeId) -> bool {
+        self.faults.restore_link(u, v)
+    }
+
+    /// Whether the link `{u, v}` is currently individually failed.
     #[must_use]
     pub fn is_failed(&self, u: NodeId, v: NodeId) -> bool {
-        self.failed.contains(&key(u, v))
+        self.faults.is_link_down(u, v)
+    }
+
+    /// The current fault state (links, crashes, partition).
+    #[must_use]
+    pub fn fault_state(&self) -> &FaultState {
+        &self.faults
+    }
+
+    /// Mutable access to the fault state, for scripting crashes and
+    /// partitions directly (validated by [`FaultState::apply`]).
+    pub fn fault_state_mut(&mut self) -> &mut FaultState {
+        &mut self.faults
     }
 
     /// The statistics accumulated so far.
@@ -189,11 +334,22 @@ impl<'a> Network<'a> {
 
     /// Sends one message from `s` to `t` and returns the delivery trace.
     ///
+    /// If a fault plan is installed, all events due at the current epoch
+    /// fire first; the epoch then advances by one.
+    ///
     /// # Errors
     ///
     /// Returns a [`SimError`] describing the failure; statistics are
     /// updated either way.
     pub fn send(&mut self, s: NodeId, t: NodeId) -> Result<Delivery, SimError> {
+        if let Some(plan) = &self.plan {
+            // The plan was validated on installation; an error here would
+            // mean the topology changed under us, which it cannot.
+            self.faults
+                .advance_to(plan, self.epoch)
+                .expect("fault plan validated at set_fault_plan time");
+        }
+        self.epoch += 1;
         let result = self.route(s, t);
         match &result {
             Ok(d) => {
@@ -204,7 +360,10 @@ impl<'a> Network<'a> {
                     self.loads[x] += 1;
                 }
             }
-            Err(_) => self.stats.failed += 1,
+            Err(e) => {
+                self.stats.failed += 1;
+                self.stats.failures.record(e);
+            }
         }
         result
     }
@@ -218,13 +377,22 @@ impl<'a> Network<'a> {
         &self.loads
     }
 
-    /// Resets statistics and the load profile (failed links persist).
+    /// Resets statistics and the load profile (faults and the plan clock
+    /// persist).
     pub fn reset_stats(&mut self) {
         self.stats = Stats::default();
         self.loads.fill(0);
     }
 
-    fn route(&self, s: NodeId, t: NodeId) -> Result<Delivery, SimError> {
+    fn hop_error(&self, at: NodeId, next: NodeId, fault: HopFault) -> SimError {
+        match fault {
+            HopFault::LinkDown => SimError::LinkDown { at, to: Some(next) },
+            HopFault::NodeCrashed(node) => SimError::NodeCrashed { node },
+            HopFault::Partitioned => SimError::Partitioned { at, to: next },
+        }
+    }
+
+    fn route(&mut self, s: NodeId, t: NodeId) -> Result<Delivery, SimError> {
         let n = self.scheme.node_count();
         if s >= n {
             return Err(SimError::NodeOutOfRange { node: s });
@@ -232,11 +400,15 @@ impl<'a> Network<'a> {
         if t >= n {
             return Err(SimError::NodeOutOfRange { node: t });
         }
+        if self.faults.is_crashed(s) {
+            return Err(SimError::NodeCrashed { node: s });
+        }
         let pa = self.scheme.port_assignment();
         let dest_label = self.scheme.label_of(t);
         let mut state = MessageState { source: Some(self.scheme.label_of(s)), counter: 0 };
         let mut path = vec![s];
         let mut cur = s;
+        let mut reroutes = 0u64;
         for _ in 0..=self.hop_limit {
             let router = self
                 .scheme
@@ -252,6 +424,7 @@ impl<'a> Network<'a> {
             let next = match decision {
                 RouteDecision::Deliver => {
                     return if cur == t {
+                        self.stats.reroutes += reroutes;
                         Ok(Delivery { path })
                     } else {
                         Err(SimError::Misdelivered { at: cur })
@@ -262,25 +435,52 @@ impl<'a> Network<'a> {
                         at: cur,
                         error: RouteError::PortOutOfRange { port: p, degree: env.degree },
                     })?;
-                    if self.is_failed(cur, next) {
-                        return Err(SimError::LinkDown { at: cur, to: Some(next) });
+                    if let Some(fault) = self.faults.check_hop(cur, next) {
+                        return Err(self.hop_error(cur, next, fault));
                     }
                     next
                 }
                 RouteDecision::ForwardAny(ports) => {
-                    // Failover: take the first port whose link is alive.
+                    // Failover: take the first port whose hop is usable.
                     let mut chosen = None;
-                    for p in ports {
+                    let mut first_fault = None;
+                    for (i, p) in ports.into_iter().enumerate() {
                         let cand = pa.neighbor_at(cur, p).ok_or(SimError::Router {
                             at: cur,
                             error: RouteError::PortOutOfRange { port: p, degree: env.degree },
                         })?;
-                        if !self.is_failed(cur, cand) {
-                            chosen = Some(cand);
-                            break;
+                        match self.faults.check_hop(cur, cand) {
+                            None => {
+                                if i > 0 {
+                                    reroutes += 1;
+                                }
+                                chosen = Some(cand);
+                                break;
+                            }
+                            Some(fault) => {
+                                if first_fault.is_none() {
+                                    first_fault = Some((cand, fault));
+                                }
+                            }
                         }
                     }
-                    chosen.ok_or(SimError::LinkDown { at: cur, to: None })?
+                    match chosen {
+                        Some(next) => next,
+                        None => {
+                            // Attribute to the first blocked alternative:
+                            // a crashed destination beats a generic
+                            // "everything is down".
+                            return Err(match first_fault {
+                                Some((_, HopFault::NodeCrashed(node))) => {
+                                    SimError::NodeCrashed { node }
+                                }
+                                Some((to, HopFault::Partitioned)) => {
+                                    SimError::Partitioned { at: cur, to }
+                                }
+                                _ => SimError::LinkDown { at: cur, to: None },
+                            });
+                        }
+                    }
                 }
             };
             path.push(next);
@@ -312,25 +512,18 @@ impl fmt::Debug for Network<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "Network(n={}, failed_links={}, stats={:?})",
+            "Network(n={}, epoch={}, stats={:?})",
             self.node_count(),
-            self.failed.len(),
+            self.epoch,
             self.stats
         )
-    }
-}
-
-fn key(u: NodeId, v: NodeId) -> (NodeId, NodeId) {
-    if u < v {
-        (u, v)
-    } else {
-        (v, u)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultEvent;
     use ort_graphs::generators;
     use ort_graphs::paths::Apsp;
     use ort_routing::schemes::full_information::FullInformationScheme;
@@ -386,7 +579,7 @@ mod tests {
         for (s, t) in pairs {
             let first = net.send(s, t).unwrap();
             // Fail the first link of the route.
-            net.fail_link(first.path[0], first.path[1]);
+            assert!(net.fail_link(first.path[0], first.path[1]));
             match net.send(s, t) {
                 Ok(second) => {
                     // Still a shortest path, via a different first hop.
@@ -401,9 +594,23 @@ mod tests {
                 }
                 Err(e) => panic!("unexpected error: {e}"),
             }
-            net.restore_link(first.path[0], first.path[1]);
+            assert!(net.restore_link(first.path[0], first.path[1]));
         }
         assert!(exercised >= 2, "dense random graphs have alternative paths");
+    }
+
+    #[test]
+    fn reroutes_are_counted() {
+        let g = generators::gnp_half(32, 7);
+        let scheme = FullInformationScheme::build(&g).unwrap();
+        let mut net = Network::new(&scheme);
+        let t = g.non_neighbors(0)[0];
+        let first = net.send(0, t).unwrap();
+        assert_eq!(net.stats().reroutes, 0, "no faults, first port always taken");
+        net.fail_link(first.path[0], first.path[1]);
+        if net.send(0, t).is_ok() {
+            assert!(net.stats().reroutes >= 1);
+        }
     }
 
     #[test]
@@ -411,12 +618,67 @@ mod tests {
         let g = generators::path(6);
         let scheme = FullTableScheme::build(&g).unwrap();
         let mut net = Network::new(&scheme);
-        net.fail_link(2, 3);
+        assert!(net.fail_link(2, 3));
         let err = net.send(0, 5).unwrap_err();
         assert_eq!(err, SimError::LinkDown { at: 2, to: Some(3) });
         assert_eq!(net.stats().failed, 1);
-        net.restore_link(2, 3);
+        assert_eq!(net.stats().failures.link_down, 1);
+        assert!(net.restore_link(2, 3));
         assert!(net.send(0, 5).is_ok());
+    }
+
+    #[test]
+    fn failing_a_non_edge_is_rejected() {
+        let g = generators::path(6); // only consecutive links exist
+        let scheme = FullTableScheme::build(&g).unwrap();
+        let mut net = Network::new(&scheme);
+        assert!(!net.fail_link(0, 5), "0–5 is not an edge");
+        assert!(!net.fail_link(0, 17), "out of range");
+        assert!(!net.restore_link(0, 5));
+        // The bogus fault changed nothing.
+        assert!(net.send(0, 5).is_ok());
+        assert!(!net.is_failed(0, 5));
+    }
+
+    #[test]
+    fn crashed_transit_node_fails_with_reason() {
+        let g = generators::path(5); // 0-1-2-3-4
+        let scheme = FullTableScheme::build(&g).unwrap();
+        let mut net = Network::new(&scheme);
+        net.fault_state_mut().apply(&FaultEvent::NodeCrash(2)).unwrap();
+        assert_eq!(net.send(0, 4).unwrap_err(), SimError::NodeCrashed { node: 2 });
+        assert_eq!(net.send(2, 0).unwrap_err(), SimError::NodeCrashed { node: 2 });
+        assert!(net.send(0, 1).is_ok(), "traffic away from the crash is unaffected");
+        assert_eq!(net.stats().failures.node_crashed, 2);
+        net.fault_state_mut().apply(&FaultEvent::NodeRestart(2)).unwrap();
+        assert!(net.send(0, 4).is_ok());
+    }
+
+    #[test]
+    fn fault_plan_applies_on_the_epoch_clock() {
+        let g = generators::path(4);
+        let scheme = FullTableScheme::build(&g).unwrap();
+        let mut net = Network::new(&scheme);
+        let mut plan = FaultPlan::new();
+        plan.push(1, FaultEvent::LinkDown(1, 2));
+        plan.push(3, FaultEvent::LinkUp(1, 2));
+        net.set_fault_plan(plan).unwrap();
+        assert!(net.send(0, 3).is_ok(), "epoch 0: link still up");
+        assert!(net.send(0, 3).is_err(), "epoch 1: link down");
+        assert!(net.send(0, 3).is_err(), "epoch 2: still down");
+        assert!(net.send(0, 3).is_ok(), "epoch 3: healed");
+    }
+
+    #[test]
+    fn invalid_fault_plan_is_rejected_atomically() {
+        let g = generators::path(4);
+        let scheme = FullTableScheme::build(&g).unwrap();
+        let mut net = Network::new(&scheme);
+        let mut plan = FaultPlan::new();
+        plan.push(0, FaultEvent::LinkDown(0, 1));
+        plan.push(1, FaultEvent::LinkDown(0, 3)); // not an edge
+        assert!(net.set_fault_plan(plan).is_err());
+        assert!(net.send(0, 1).is_ok(), "nothing was applied");
     }
 
     #[test]
@@ -436,6 +698,7 @@ mod tests {
         let mut net = Network::new(&scheme);
         net.set_hop_limit(3);
         assert_eq!(net.send(0, 7).unwrap_err(), SimError::HopLimit { limit: 3 });
+        assert_eq!(net.stats().failures.hop_limit, 1);
         assert!(net.send(0, 3).is_ok());
     }
 
@@ -446,6 +709,7 @@ mod tests {
         let mut net = Network::new(&scheme);
         assert!(matches!(net.send(5, 0), Err(SimError::NodeOutOfRange { .. })));
         assert!(matches!(net.send(0, 9), Err(SimError::NodeOutOfRange { .. })));
+        assert_eq!(net.stats().failures.node_out_of_range, 2);
     }
 
     #[test]
@@ -489,7 +753,7 @@ mod tests {
         let g = generators::cycle(6);
         let scheme = FullTableScheme::build(&g).unwrap();
         let mut net = Network::new(&scheme);
-        net.fail_link(3, 2);
+        assert!(net.fail_link(3, 2));
         assert!(net.is_failed(2, 3));
         assert!(net.is_failed(3, 2));
     }

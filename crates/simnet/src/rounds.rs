@@ -8,19 +8,30 @@
 //! under all-to-all workloads explodes even though their hop counts are
 //! within stretch 2 — the queueing-theoretic face of
 //! [`crate::Network::load_profile`].
+//!
+//! The simulator consumes the same [`FaultPlan`] as [`crate::Network`],
+//! applied on its round clock, and adds the recovery machinery of a real
+//! deployment: a per-message TTL, and source-side retry with capped
+//! exponential backoff when a message is lost to a fault. A crashed node
+//! drops its queued messages and refuses transit until it restarts.
 
 use std::collections::VecDeque;
 
 use ort_graphs::NodeId;
 use ort_routing::scheme::{MessageState, RouteDecision, RoutingScheme};
 
+use crate::faults::{FaultPlan, FaultState, HopFault, InvalidFault};
+use crate::{FailureBreakdown, SimError};
+
 /// One queued message.
 #[derive(Debug, Clone)]
 struct InFlight {
+    src: NodeId,
     dst: NodeId,
     state: MessageState,
     hops: u32,
     injected_round: u32,
+    attempt: u32,
 }
 
 /// Outcome of a round-based run.
@@ -30,10 +41,19 @@ pub struct RoundReport {
     pub rounds: u32,
     /// Messages delivered.
     pub delivered: usize,
-    /// Messages dropped due to routing errors.
+    /// Messages dropped due to routing errors, faults, or TTL expiry.
     pub errored: usize,
-    /// Messages still queued when the round cap was reached.
+    /// The dropped messages broken down by reason
+    /// (`errored_by.total() == errored`).
+    pub errored_by: FailureBreakdown,
+    /// Messages still queued (or awaiting a retry) when the round cap was
+    /// reached.
     pub stranded: usize,
+    /// Source-side re-injections performed by the retry machinery.
+    pub retries: u64,
+    /// Times a multipath router's non-first advertised port was taken
+    /// because an earlier one was unusable.
+    pub reroutes: u64,
     /// Per-delivered-message latency in rounds (delivery − injection).
     pub latencies: Vec<u32>,
     /// Largest queue length observed at any node.
@@ -59,11 +79,44 @@ impl RoundReport {
     }
 }
 
+/// Retry policy for messages lost to faults (link down, crash,
+/// partition). Routing errors and TTL expiry are never retried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum re-injections per message (0 disables retries).
+    pub max_retries: u32,
+    /// Backoff before the first retry, in rounds.
+    pub backoff_base: u32,
+    /// Cap on the exponential backoff, in rounds.
+    pub backoff_cap: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_retries: 0, backoff_base: 1, backoff_cap: 16 }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `attempt + 1`:
+    /// `min(backoff_base · 2^attempt, backoff_cap)`, at least 1 round.
+    #[must_use]
+    pub fn backoff(&self, attempt: u32) -> u32 {
+        self.backoff_base
+            .checked_shl(attempt)
+            .map_or(self.backoff_cap, |b| b.min(self.backoff_cap))
+            .max(1)
+    }
+}
+
 /// A synchronous, capacity-limited simulator for one scheme.
 pub struct RoundSimulator<'a> {
     scheme: &'a dyn RoutingScheme,
     capacity: usize,
     round_cap: u32,
+    plan: Option<FaultPlan>,
+    ttl: Option<u32>,
+    retry: RetryPolicy,
 }
 
 impl<'a> RoundSimulator<'a> {
@@ -77,7 +130,14 @@ impl<'a> RoundSimulator<'a> {
     pub fn new(scheme: &'a dyn RoutingScheme, capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
         let n = scheme.node_count() as u32;
-        RoundSimulator { scheme, capacity, round_cap: 200 * n.max(1) + 1000 }
+        RoundSimulator {
+            scheme,
+            capacity,
+            round_cap: 200 * n.max(1) + 1000,
+            plan: None,
+            ttl: None,
+            retry: RetryPolicy::default(),
+        }
     }
 
     /// Overrides the safety cap on simulated rounds.
@@ -85,19 +145,52 @@ impl<'a> RoundSimulator<'a> {
         self.round_cap = cap;
     }
 
+    /// Installs a timed fault plan, validated event by event against the
+    /// topology. The plan's clock is the round number (1-based); an event
+    /// at time `k` fires at the start of round `k` (`k = 0` fires before
+    /// round 1 — a static fault load).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`InvalidFault`] if any event names a link or
+    /// node the topology does not have.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) -> Result<(), InvalidFault> {
+        let mut probe = FaultState::new(self.scheme.port_assignment());
+        for e in plan.events() {
+            probe.apply(&e.event)?;
+        }
+        self.plan = Some(plan);
+        Ok(())
+    }
+
+    /// Sets the per-message TTL in rounds: a message older than `ttl`
+    /// rounds (counted from its latest injection) is dropped and counted
+    /// as [`SimError::TtlExpired`]. `None` disables expiry.
+    pub fn set_ttl(&mut self, ttl: Option<u32>) {
+        self.ttl = ttl;
+    }
+
+    /// Sets the source-side retry policy for fault-lost messages.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
     /// Injects `workload` (all messages at round 0) and runs rounds until
     /// the network drains or the round cap is hit.
     #[must_use]
     pub fn run(&self, workload: &[(NodeId, NodeId)]) -> RoundReport {
         let n = self.scheme.node_count();
+        let mut faults = FaultState::new(self.scheme.port_assignment());
         let mut queues: Vec<VecDeque<InFlight>> = vec![VecDeque::new(); n];
         let mut in_flight = 0usize;
         for &(s, t) in workload {
             queues[s].push_back(InFlight {
+                src: s,
                 dst: t,
                 state: MessageState { source: Some(self.scheme.label_of(s)), counter: 0 },
                 hops: 0,
                 injected_round: 0,
+                attempt: 0,
             });
             in_flight += 1;
         }
@@ -106,60 +199,186 @@ impl<'a> RoundSimulator<'a> {
             rounds: 0,
             delivered: 0,
             errored: 0,
+            errored_by: FailureBreakdown::default(),
             stranded: 0,
+            retries: 0,
+            reroutes: 0,
             latencies: Vec::with_capacity(workload.len()),
             max_queue: queues.iter().map(VecDeque::len).max().unwrap_or(0),
         };
+        // Messages awaiting a scheduled re-injection: `(due_round, msg)`.
+        let mut pending: Vec<(u32, InFlight)> = Vec::new();
         // Double-buffer the queues so a message moves at most once per round.
         while in_flight > 0 && report.rounds < self.round_cap {
             report.rounds += 1;
+            let round = report.rounds;
+            if let Some(plan) = &self.plan {
+                faults
+                    .advance_to(plan, u64::from(round))
+                    .expect("fault plan validated at set_fault_plan time");
+            }
+            // Losses discovered this round; resolved to retry-or-drop after
+            // the transmit phase (keeps the borrow of `report` simple).
+            let mut lost: Vec<(InFlight, SimError)> = Vec::new();
+            // Due retries re-enter their source queue.
+            if !pending.is_empty() {
+                let mut rest = Vec::with_capacity(pending.len());
+                for (due, mut msg) in pending {
+                    if due <= round {
+                        msg.injected_round = round;
+                        msg.hops = 0;
+                        msg.state =
+                            MessageState { source: Some(self.scheme.label_of(msg.src)), counter: 0 };
+                        queues[msg.src].push_back(msg);
+                    } else {
+                        rest.push((due, msg));
+                    }
+                }
+                pending = rest;
+            }
+            // A crashed node drops everything it had queued.
+            for (u, queue) in queues.iter_mut().enumerate() {
+                if faults.is_crashed(u) && !queue.is_empty() {
+                    for msg in queue.drain(..) {
+                        lost.push((msg, SimError::NodeCrashed { node: u }));
+                    }
+                }
+            }
             let mut arrivals: Vec<Vec<InFlight>> = vec![Vec::new(); n];
             for (u, queue) in queues.iter_mut().enumerate() {
+                if queue.is_empty() {
+                    continue;
+                }
                 let Ok(router) = self.scheme.decode_router(u) else {
-                    report.errored += queue.len();
-                    in_flight -= queue.len();
-                    queue.clear();
+                    for msg in queue.drain(..) {
+                        lost.push((
+                            msg,
+                            SimError::Router {
+                                at: u,
+                                error: ort_routing::scheme::RouteError::MissingInformation {
+                                    what: "router undecodable",
+                                },
+                            },
+                        ));
+                    }
                     continue;
                 };
                 let env = self.scheme.node_env(u);
                 for _ in 0..self.capacity {
                     let Some(mut msg) = queue.pop_front() else { break };
+                    if let Some(ttl) = self.ttl {
+                        if round - msg.injected_round > ttl {
+                            lost.push((msg, SimError::TtlExpired { ttl }));
+                            continue;
+                        }
+                    }
                     let dest_label = self.scheme.label_of(msg.dst);
                     match router.route(&env, &dest_label, &mut msg.state) {
                         Ok(RouteDecision::Deliver) if u == msg.dst => {
                             report.delivered += 1;
-                            report.latencies.push(report.rounds - 1 - msg.injected_round);
+                            report.latencies.push(round - 1 - msg.injected_round);
                             in_flight -= 1;
                         }
-                        Ok(RouteDecision::Forward(p)) => {
-                            match pa.neighbor_at(u, p) {
-                                Some(next) => {
+                        Ok(RouteDecision::Deliver) => {
+                            lost.push((msg, SimError::Misdelivered { at: u }));
+                        }
+                        Ok(RouteDecision::Forward(p)) => match pa.neighbor_at(u, p) {
+                            Some(next) => match faults.check_hop(u, next) {
+                                None => {
                                     msg.hops += 1;
                                     arrivals[next].push(msg);
                                 }
-                                None => {
-                                    report.errored += 1;
-                                    in_flight -= 1;
-                                }
-                            }
-                        }
+                                Some(fault) => lost.push((msg, hop_error(u, next, fault))),
+                            },
+                            None => lost.push((
+                                msg,
+                                SimError::Router {
+                                    at: u,
+                                    error: ort_routing::scheme::RouteError::PortOutOfRange {
+                                        port: p,
+                                        degree: env.degree,
+                                    },
+                                },
+                            )),
+                        },
                         Ok(RouteDecision::ForwardAny(ports)) => {
-                            match ports.first().and_then(|&p| pa.neighbor_at(u, p)) {
-                                Some(next) => {
-                                    msg.hops += 1;
-                                    arrivals[next].push(msg);
-                                }
-                                None => {
-                                    report.errored += 1;
-                                    in_flight -= 1;
+                            // Failover: the first advertised port whose hop
+                            // is usable — the same multipath semantics as
+                            // `Network::route`.
+                            let mut chosen = None;
+                            let mut first_fault = None;
+                            let mut bad_port = None;
+                            for (i, &p) in ports.iter().enumerate() {
+                                let Some(cand) = pa.neighbor_at(u, p) else {
+                                    bad_port = Some(p);
+                                    break;
+                                };
+                                match faults.check_hop(u, cand) {
+                                    None => {
+                                        chosen = Some((i, cand));
+                                        break;
+                                    }
+                                    Some(fault) => {
+                                        if first_fault.is_none() {
+                                            first_fault = Some((cand, fault));
+                                        }
+                                    }
                                 }
                             }
+                            if let Some(p) = bad_port {
+                                lost.push((
+                                    msg,
+                                    SimError::Router {
+                                        at: u,
+                                        error: ort_routing::scheme::RouteError::PortOutOfRange {
+                                            port: p,
+                                            degree: env.degree,
+                                        },
+                                    },
+                                ));
+                            } else if let Some((i, next)) = chosen {
+                                if i > 0 {
+                                    report.reroutes += 1;
+                                }
+                                msg.hops += 1;
+                                arrivals[next].push(msg);
+                            } else {
+                                let err = match first_fault {
+                                    Some((_, HopFault::NodeCrashed(node))) => {
+                                        SimError::NodeCrashed { node }
+                                    }
+                                    Some((to, HopFault::Partitioned)) => {
+                                        SimError::Partitioned { at: u, to }
+                                    }
+                                    _ => SimError::LinkDown { at: u, to: None },
+                                };
+                                lost.push((msg, err));
+                            }
                         }
-                        _ => {
-                            report.errored += 1;
-                            in_flight -= 1;
-                        }
+                        Err(error) => lost.push((msg, SimError::Router { at: u, error })),
                     }
+                }
+            }
+            // Resolve this round's losses: fault losses may retry from the
+            // source; everything else is dropped and attributed.
+            for (msg, err) in lost {
+                let retryable = matches!(
+                    err,
+                    SimError::LinkDown { .. }
+                        | SimError::NodeCrashed { .. }
+                        | SimError::Partitioned { .. }
+                );
+                if retryable && msg.attempt < self.retry.max_retries {
+                    let due = round + self.retry.backoff(msg.attempt);
+                    report.retries += 1;
+                    pending.push((
+                        due,
+                        InFlight { attempt: msg.attempt + 1, ..msg },
+                    ));
+                } else {
+                    report.errored += 1;
+                    report.errored_by.record(&err);
+                    in_flight -= 1;
                 }
             }
             for (u, batch) in arrivals.into_iter().enumerate() {
@@ -173,10 +392,20 @@ impl<'a> RoundSimulator<'a> {
     }
 }
 
+fn hop_error(at: NodeId, next: NodeId, fault: HopFault) -> SimError {
+    match fault {
+        HopFault::LinkDown => SimError::LinkDown { at, to: Some(next) },
+        HopFault::NodeCrashed(node) => SimError::NodeCrashed { node },
+        HopFault::Partitioned => SimError::Partitioned { at, to: next },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{FaultEvent, TimedFault};
     use ort_graphs::generators;
+    use ort_routing::schemes::full_information::FullInformationScheme;
     use ort_routing::schemes::full_table::FullTableScheme;
     use ort_routing::schemes::theorem1::Theorem1Scheme;
     use ort_routing::schemes::theorem4::Theorem4Scheme;
@@ -252,5 +481,111 @@ mod tests {
         assert_eq!(report.delivered, 0);
         assert_eq!(report.stranded, 1);
         assert_eq!(report.rounds, 2);
+    }
+
+    #[test]
+    fn forward_any_fails_over_like_the_network() {
+        // Cut the first shortest-path link a full-information route would
+        // use; the round simulator must take an alternative, not drop.
+        let g = generators::gnp_half(24, 1);
+        let scheme = FullInformationScheme::build(&g).unwrap();
+        let t = g.non_neighbors(0)[0];
+        // Find the first-choice link by running fault-free once.
+        let mut net = crate::Network::new(&scheme);
+        let first = net.send(0, t).unwrap();
+        let mut sim = RoundSimulator::new(&scheme, 8);
+        sim.set_fault_plan(FaultPlan::from_events(vec![TimedFault {
+            at: 0,
+            event: FaultEvent::LinkDown(first.path[0], first.path[1]),
+        }]))
+        .unwrap();
+        let report = sim.run(&[(0, t)]);
+        assert_eq!(report.delivered, 1, "failover must find the alternative");
+        assert!(report.reroutes >= 1);
+    }
+
+    #[test]
+    fn link_fault_without_retries_drops_with_reason() {
+        let g = generators::path(6);
+        let scheme = FullTableScheme::build(&g).unwrap();
+        let mut sim = RoundSimulator::new(&scheme, 4);
+        sim.set_fault_plan(FaultPlan::from_events(vec![TimedFault {
+            at: 0,
+            event: FaultEvent::LinkDown(2, 3),
+        }]))
+        .unwrap();
+        let report = sim.run(&[(0, 5), (5, 0), (0, 1)]);
+        assert_eq!(report.delivered, 1, "only the fault-free pair survives");
+        assert_eq!(report.errored, 2);
+        assert_eq!(report.errored_by.link_down, 2);
+        assert_eq!(report.stranded, 0);
+    }
+
+    #[test]
+    fn retries_recover_after_the_link_heals() {
+        let g = generators::path(6);
+        let scheme = FullTableScheme::build(&g).unwrap();
+        let mut sim = RoundSimulator::new(&scheme, 4);
+        sim.set_fault_plan(FaultPlan::from_events(vec![
+            TimedFault { at: 0, event: FaultEvent::LinkDown(2, 3) },
+            TimedFault { at: 6, event: FaultEvent::LinkUp(2, 3) },
+        ]))
+        .unwrap();
+        sim.set_retry_policy(RetryPolicy { max_retries: 8, backoff_base: 1, backoff_cap: 8 });
+        let report = sim.run(&[(0, 5)]);
+        assert_eq!(report.delivered, 1, "retry after heal must succeed");
+        assert!(report.retries >= 1);
+        assert_eq!(report.errored, 0);
+    }
+
+    #[test]
+    fn retries_exhaust_against_a_permanent_fault() {
+        let g = generators::path(4);
+        let scheme = FullTableScheme::build(&g).unwrap();
+        let mut sim = RoundSimulator::new(&scheme, 4);
+        sim.set_fault_plan(FaultPlan::from_events(vec![TimedFault {
+            at: 0,
+            event: FaultEvent::LinkDown(1, 2),
+        }]))
+        .unwrap();
+        sim.set_retry_policy(RetryPolicy { max_retries: 3, backoff_base: 1, backoff_cap: 4 });
+        let report = sim.run(&[(0, 3)]);
+        assert_eq!(report.delivered, 0);
+        assert_eq!(report.retries, 3, "every allowed retry was spent");
+        assert_eq!(report.errored, 1);
+        assert_eq!(report.errored_by.link_down, 1);
+        assert_eq!(report.stranded, 0, "exhausted messages are dropped, not stranded");
+    }
+
+    #[test]
+    fn ttl_expiry_is_counted_not_stranded() {
+        // Capacity 1 on a star: the centre serializes, so late messages age
+        // past their TTL and must be counted as expired.
+        let g = generators::star(10);
+        let scheme = FullTableScheme::build(&g).unwrap();
+        let mut sim = RoundSimulator::new(&scheme, 1);
+        sim.set_ttl(Some(3));
+        let workload: Vec<(NodeId, NodeId)> = (1..10).map(|s| (s, s % 9 + 1)).collect();
+        let report = sim.run(&workload);
+        assert!(report.errored_by.ttl_expired > 0, "congestion must expire some messages");
+        assert_eq!(report.errored, report.errored_by.total() as usize);
+        assert_eq!(report.stranded, 0);
+        assert_eq!(report.delivered + report.errored, workload.len());
+    }
+
+    #[test]
+    fn crash_drops_queued_messages() {
+        let g = generators::path(5);
+        let scheme = FullTableScheme::build(&g).unwrap();
+        let mut sim = RoundSimulator::new(&scheme, 4);
+        // Node 2 crashes at round 2 — messages already transiting it drop.
+        sim.set_fault_plan(FaultPlan::from_events(vec![TimedFault {
+            at: 2,
+            event: FaultEvent::NodeCrash(2),
+        }]))
+        .unwrap();
+        let report = sim.run(&[(0, 4)]);
+        assert_eq!(report.delivered, 0);
+        assert_eq!(report.errored_by.node_crashed, 1);
     }
 }

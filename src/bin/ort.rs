@@ -5,6 +5,7 @@
 //! ort build   <scheme> <n> <seed>         build a scheme, print size & stretch
 //! ort route   <scheme> <n> <seed> <s> <t> route one message, print the path
 //! ort conformance [out.json]              run the full conformance suite
+//! ort resilience  [out.json]              fault-intensity sweep over all schemes
 //! ort schemes                             list available schemes
 //! ```
 //!
@@ -13,6 +14,7 @@
 
 use std::process::ExitCode;
 
+use optimal_routing_tables::conformance::json::Json;
 use optimal_routing_tables::graphs::random_props::RandomnessReport;
 use optimal_routing_tables::graphs::{generators, Graph};
 use optimal_routing_tables::kolmogorov::deficiency::CompressorSuite;
@@ -65,6 +67,7 @@ fn usage() -> ExitCode {
     eprintln!("  ort save    <scheme> <n> <seed> <file>   (snapshot-capable schemes)");
     eprintln!("  ort load    <file> <src> <dst>");
     eprintln!("  ort conformance [out.json]               (default results/CONFORMANCE.json)");
+    eprintln!("  ort resilience  [out.json]               (default results/RESILIENCE.json)");
     eprintln!("  ort schemes");
     ExitCode::FAILURE
 }
@@ -119,6 +122,187 @@ fn bytes_to_bits(data: &[u8]) -> Result<optimal_routing_tables::bitio::BitVec, S
         bits.push((byte >> (7 - (i % 8))) & 1 == 1);
     }
     Ok(bits)
+}
+
+/// The sweep behind `ort resilience`: every registry scheme, bare and
+/// wrapped in the resilient detour adapter, against the same seeded
+/// link-fault loads of increasing intensity on three topologies. Returns
+/// the report and the acceptance violations (empty ⇒ exit 0).
+fn resilience_sweep(
+    mut progress: impl FnMut(&str),
+) -> Result<(Json, Vec<String>), String> {
+    use optimal_routing_tables::conformance::registry::SchemeId;
+    use optimal_routing_tables::graphs::paths::Apsp;
+    use optimal_routing_tables::graphs::ports::PortAssignment;
+    use optimal_routing_tables::routing::schemes::resilient::ResilientScheme;
+    use optimal_routing_tables::simnet::faults::FaultPlan;
+    use optimal_routing_tables::simnet::resilience::{
+        acceptance_violations, resilience_hop_limit, run_cell, ResilienceConfig, SweepCell,
+    };
+    use optimal_routing_tables::simnet::FailureBreakdown;
+
+    const FAULT_SEED: u64 = 13;
+    const INTENSITIES: [f64; 4] = [0.0, 0.05, 0.15, 0.30];
+
+    fn breakdown(b: &FailureBreakdown) -> Json {
+        Json::Obj(b.entries().iter().map(|&(k, v)| (k.to_string(), Json::Int(v as i64))).collect())
+    }
+    fn opt_num(x: Option<f64>) -> Json {
+        x.map_or(Json::Null, Json::Num)
+    }
+
+    let cfg = ResilienceConfig::default();
+    let topologies: Vec<(&str, Graph)> = vec![
+        ("gnp32", generators::gnp_half(32, 3)),
+        ("grid6x6", generators::grid(6, 6)),
+        ("path24", generators::path(24)),
+    ];
+    let mut cells: Vec<SweepCell> = Vec::new();
+    let mut refusals: Vec<Json> = Vec::new();
+    let mut loads: Vec<Json> = Vec::new();
+    for (tname, g) in &topologies {
+        let apsp = Apsp::compute(g);
+        let pa = PortAssignment::sorted(g);
+        // One shared plan per (topology, intensity): every scheme faces the
+        // same broken links, so cells are comparable.
+        let plans: Vec<FaultPlan> = INTENSITIES
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| FaultPlan::random_link_faults(&pa, x, FAULT_SEED + i as u64))
+            .collect();
+        for (i, &intensity) in INTENSITIES.iter().enumerate() {
+            loads.push(Json::obj(vec![
+                ("topology", Json::Str((*tname).into())),
+                ("intensity", Json::Num(intensity)),
+                ("seed", Json::Int((FAULT_SEED + i as u64) as i64)),
+                ("links_down", Json::Int(plans[i].len() as i64)),
+            ]));
+        }
+        for id in SchemeId::ALL {
+            let bare = match id.build(g) {
+                Ok(s) => s,
+                Err(e) => {
+                    progress(&format!("{tname}/{}: refused ({e})", id.name()));
+                    refusals.push(Json::obj(vec![
+                        ("topology", Json::Str((*tname).into())),
+                        ("scheme", Json::Str(id.name().into())),
+                        ("reason", Json::Str(e.to_string())),
+                    ]));
+                    continue;
+                }
+            };
+            let wrapped = ResilientScheme::wrap(id.build(g).expect("built once already"));
+            progress(&format!("{tname}/{}: sweeping {} intensities", id.name(), INTENSITIES.len()));
+            for (i, &intensity) in INTENSITIES.iter().enumerate() {
+                for (is_wrapped, scheme) in
+                    [(false, bare.as_ref()), (true, &wrapped as &dyn RoutingScheme)]
+                {
+                    let metrics =
+                        run_cell(scheme, &apsp, &plans[i], &cfg).map_err(|e| e.to_string())?;
+                    cells.push(SweepCell {
+                        topology: (*tname).into(),
+                        n: g.node_count(),
+                        intensity,
+                        scheme: id.name().into(),
+                        multipath: id == SchemeId::FullInformation,
+                        wrapped: is_wrapped,
+                        metrics,
+                    });
+                }
+            }
+        }
+    }
+    let violations = acceptance_violations(&cells);
+
+    let cell_json: Vec<Json> = cells
+        .iter()
+        .map(|c| {
+            // Stretch inflation is relative to the same scheme's fault-free
+            // run on the same topology.
+            let baseline = cells
+                .iter()
+                .find(|b| {
+                    b.topology == c.topology
+                        && b.scheme == c.scheme
+                        && b.wrapped == c.wrapped
+                        && b.intensity == 0.0
+                })
+                .and_then(|b| b.metrics.mean_stretch);
+            let inflation = match (c.metrics.mean_stretch, baseline) {
+                (Some(s), Some(b)) if b > 0.0 => Some(s / b),
+                _ => None,
+            };
+            Json::obj(vec![
+                ("topology", Json::Str(c.topology.clone())),
+                ("n", Json::Int(c.n as i64)),
+                ("intensity", Json::Num(c.intensity)),
+                ("scheme", Json::Str(c.scheme.clone())),
+                ("wrapped", Json::Bool(c.wrapped)),
+                ("multipath", Json::Bool(c.multipath)),
+                ("pairs", Json::Int(c.metrics.pairs as i64)),
+                ("delivered", Json::Int(c.metrics.delivered as i64)),
+                ("delivery_ratio", Json::Num(c.metrics.delivery_ratio())),
+                ("reachable_delivery_ratio", Json::Num(c.metrics.reachable_delivery_ratio())),
+                ("partition_detected", Json::Int(c.metrics.unreachable_failed as i64)),
+                ("avoidable_failed", Json::Int(c.metrics.avoidable_failed as i64)),
+                ("failures", breakdown(&c.metrics.failures)),
+                ("reroutes", Json::Int(c.metrics.reroutes as i64)),
+                ("mean_stretch", opt_num(c.metrics.mean_stretch)),
+                ("stretch_inflation", opt_num(inflation)),
+                ("rounds_to_drain", Json::Int(i64::from(c.metrics.rounds_to_drain))),
+                ("round_delivered", Json::Int(c.metrics.round_delivered as i64)),
+                ("round_failures", breakdown(&c.metrics.round_failures)),
+                ("round_stranded", Json::Int(c.metrics.round_stranded as i64)),
+                ("retries", Json::Int(c.metrics.retries as i64)),
+                ("round_reroutes", Json::Int(c.metrics.round_reroutes as i64)),
+                ("mean_latency", opt_num(c.metrics.mean_latency)),
+                ("max_queue", Json::Int(c.metrics.max_queue as i64)),
+            ])
+        })
+        .collect();
+
+    let json = Json::obj(vec![
+        ("suite", Json::Str("resilience".into())),
+        (
+            "config",
+            Json::obj(vec![
+                ("intensities", Json::Arr(INTENSITIES.iter().map(|&x| Json::Num(x)).collect())),
+                ("fault_seed", Json::Int(FAULT_SEED as i64)),
+                ("capacity", Json::Int(cfg.capacity as i64)),
+                ("ttl", cfg.ttl.map_or(Json::Null, |t| Json::Int(i64::from(t)))),
+                (
+                    "retry",
+                    Json::obj(vec![
+                        ("max_retries", Json::Int(i64::from(cfg.retry.max_retries))),
+                        ("backoff_base", Json::Int(i64::from(cfg.retry.backoff_base))),
+                        ("backoff_cap", Json::Int(i64::from(cfg.retry.backoff_cap))),
+                    ]),
+                ),
+                ("hop_limit_n32", Json::Int(resilience_hop_limit(32) as i64)),
+            ]),
+        ),
+        (
+            "topologies",
+            Json::Arr(
+                topologies
+                    .iter()
+                    .map(|(name, g)| {
+                        Json::obj(vec![
+                            ("name", Json::Str((*name).into())),
+                            ("n", Json::Int(g.node_count() as i64)),
+                            ("edges", Json::Int(g.edge_count() as i64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("fault_loads", Json::Arr(loads)),
+        ("refusals", Json::Arr(refusals)),
+        ("cells", Json::Arr(cell_json)),
+        ("violations", Json::Arr(violations.iter().map(|v| Json::Str(v.clone())).collect())),
+        ("pass", Json::Bool(violations.is_empty())),
+    ]);
+    Ok((json, violations))
 }
 
 fn parse<T: std::str::FromStr>(s: Option<&String>, what: &str) -> Result<T, String> {
@@ -264,6 +448,26 @@ fn run() -> Result<(), String> {
                     eprintln!("violation: {v}");
                 }
                 Err(format!("conformance: FAIL ({} violations)", result.violations.len()))
+            }
+        }
+        Some("resilience") => {
+            let out = args.get(1).map_or("results/RESILIENCE.json", String::as_str);
+            let (json, violations) = resilience_sweep(|line| println!("{line}"))?;
+            if let Some(dir) = std::path::Path::new(out).parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+                }
+            }
+            std::fs::write(out, json.pretty()).map_err(|e| e.to_string())?;
+            println!("wrote {out}");
+            if violations.is_empty() {
+                println!("resilience: PASS");
+                Ok(())
+            } else {
+                for v in &violations {
+                    eprintln!("violation: {v}");
+                }
+                Err(format!("resilience: FAIL ({} violations)", violations.len()))
             }
         }
         _ => {

@@ -118,13 +118,13 @@ fn link_failures_degrade_gracefully() {
     let victim = g.neighbors(0)[0];
     let nbrs = g.neighbors(victim).to_vec();
     for &v in &nbrs[1..] {
-        net.fail_link(victim, v);
+        assert!(net.fail_link(victim, v), "{victim}-{v} must be a real link");
     }
     let d = net.send(0, victim).unwrap();
     assert_eq!(*d.path.last().unwrap(), victim);
     assert_eq!(d.path[d.path.len() - 2], nbrs[0], "must enter via the survivor");
     // Cut the last link: now it must fail, and report precisely.
-    net.fail_link(victim, nbrs[0]);
+    assert!(net.fail_link(victim, nbrs[0]));
     match net.send(0, victim) {
         Err(SimError::LinkDown { .. } | SimError::HopLimit { .. }) => {}
         other => panic!("expected failure, got {other:?}"),

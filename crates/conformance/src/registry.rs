@@ -183,6 +183,13 @@ impl SchemeId {
     pub fn from_snapshot_kind(kind: SchemeKind) -> Option<SchemeId> {
         SchemeId::ALL.iter().copied().find(|id| id.snapshot_kind() == Some(kind))
     }
+
+    /// The registry entry with a given CLI/report name — the inverse of
+    /// [`SchemeId::name`], used by `ort profile`/`ort bench-gate`.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<SchemeId> {
+        SchemeId::ALL.iter().copied().find(|id| id.name() == name)
+    }
 }
 
 #[cfg(test)]
@@ -198,6 +205,14 @@ mod tests {
                 "snapshot kind {kind:?} has no registry entry"
             );
         }
+    }
+
+    #[test]
+    fn from_name_inverts_name() {
+        for id in SchemeId::ALL {
+            assert_eq!(SchemeId::from_name(id.name()), Some(id));
+        }
+        assert_eq!(SchemeId::from_name("no-such-scheme"), None);
     }
 
     #[test]

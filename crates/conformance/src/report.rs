@@ -84,9 +84,11 @@ impl RunResult {
 /// Returns an error string if a fuzz base cannot be built (config names a
 /// graph some snapshot-capable scheme refuses).
 pub fn run(config: &Config, mut log: impl FnMut(&str)) -> Result<RunResult, String> {
+    let _span = ort_telemetry::span("conformance.run");
     let mut violations = Vec::new();
 
     // Pillar 1a: exhaustive differential oracle on all small graphs.
+    let oracle_span = ort_telemetry::span("conformance.oracle");
     let mut exhaustive = Vec::new();
     for (n, graphs) in connected_graphs_upto(config.exhaustive_n) {
         if let Some(want) = expected_count(n) {
@@ -145,8 +147,10 @@ pub fn run(config: &Config, mut log: impl FnMut(&str)) -> Result<RunResult, Stri
             sweeps.push((n, seed, diff));
         }
     }
+    drop(oracle_span);
 
     // Pillar 2: structure-aware snapshot fuzzing.
+    let fuzz_span = ort_telemetry::span("conformance.fuzz");
     let (fn_, fseed) = config.fuzz_base;
     let fuzz = fuzz_all_kinds(fn_, fseed, config.fuzz_per_kind)
         .map_err(|e| format!("fuzz base G({fn_},1/2) seed {fseed} refused: {e}"))?;
@@ -159,8 +163,10 @@ pub fn run(config: &Config, mut log: impl FnMut(&str)) -> Result<RunResult, Stri
             out.mutations, out.load_rejected, out.loaded_ok, out.route_failures, out.route_ok
         ));
     }
+    drop(fuzz_span);
 
     // Pillar 3: machine-checked paper bounds.
+    let _bounds_span = ort_telemetry::span("conformance.bounds");
     let bound_results = bounds::sweep(&config.bound_sizes, &config.bound_seeds);
     for inst in &bound_results {
         if !inst.certified {

@@ -130,25 +130,30 @@ pub fn bfs(g: &Graph, src: NodeId) -> (Vec<Option<u32>>, Vec<Option<NodeId>>) {
 pub fn bfs_distances(g: &Graph, src: NodeId, engine: ApspEngine) -> Vec<Option<u32>> {
     let n = g.node_count();
     let mut row = vec![UNREACHABLE; n];
-    match engine.resolve(g) {
+    let _expansions = match engine.resolve(g) {
         ApspEngine::Queue => bfs_queue_into(g, src, &mut row),
         ApspEngine::Bitset => bfs_bitset_into(g, src, &mut row),
         ApspEngine::Auto => unreachable!("resolve() never returns Auto"),
-    }
+    };
     row.into_iter().map(|d| if d == UNREACHABLE { None } else { Some(d) }).collect()
 }
 
 /// Queue BFS writing `UNREACHABLE`-encoded distances straight into a
-/// matrix row (no per-source allocations beyond the queue).
-fn bfs_queue_into(g: &Graph, src: NodeId, out: &mut [u32]) {
+/// matrix row (no per-source allocations beyond the queue). Returns the
+/// number of frontier expansions (nodes whose neighbourhoods were
+/// scanned) so callers can feed telemetry with one atomic add per batch
+/// instead of one per node.
+fn bfs_queue_into(g: &Graph, src: NodeId, out: &mut [u32]) -> u64 {
     out.fill(UNREACHABLE);
     if out.is_empty() {
-        return;
+        return 0;
     }
+    let mut expanded = 0u64;
     let mut queue = VecDeque::new();
     out[src] = 0;
     queue.push_back(src);
     while let Some(u) = queue.pop_front() {
+        expanded += 1;
         let du = out[u];
         for &v in g.neighbors(u) {
             if out[v] == UNREACHABLE {
@@ -157,18 +162,23 @@ fn bfs_queue_into(g: &Graph, src: NodeId, out: &mut [u32]) {
             }
         }
     }
+    expanded
 }
 
 /// Word-parallel frontier BFS: the frontier, next-frontier and visited
 /// sets are `u64` words, and a level expands by OR-ing the adjacency row
 /// of every frontier node into the next frontier. Relies on
-/// `BitVec::words()` keeping bits past `len()` zero.
-fn bfs_bitset_into(g: &Graph, src: NodeId, out: &mut [u32]) {
+/// `BitVec::words()` keeping bits past `len()` zero. Returns the number
+/// of frontier expansions (nodes whose adjacency rows were OR-ed), the
+/// same quantity [`bfs_queue_into`] reports, so telemetry totals match
+/// across engines.
+fn bfs_bitset_into(g: &Graph, src: NodeId, out: &mut [u32]) -> u64 {
     out.fill(UNREACHABLE);
     let n = g.node_count();
     if n == 0 {
-        return;
+        return 0;
     }
+    let mut expanded = 0u64;
     let nwords = n.div_ceil(64);
     let mut frontier = vec![0u64; nwords];
     let mut next = vec![0u64; nwords];
@@ -182,6 +192,7 @@ fn bfs_bitset_into(g: &Graph, src: NodeId, out: &mut [u32]) {
         next.fill(0);
         for (wi, &fw) in frontier.iter().enumerate() {
             let mut bits = fw;
+            expanded += u64::from(fw.count_ones());
             while bits != 0 {
                 let u = wi * 64 + bits.trailing_zeros() as usize;
                 bits &= bits - 1;
@@ -196,7 +207,7 @@ fn bfs_bitset_into(g: &Graph, src: NodeId, out: &mut [u32]) {
             any |= *nw != 0;
         }
         if !any {
-            return;
+            return expanded;
         }
         for (wi, (&nw, vw)) in next.iter().zip(visited.iter_mut()).enumerate() {
             *vw |= nw;
@@ -337,17 +348,45 @@ impl Apsp {
     fn compute_impl(g: &Graph, engine: ApspEngine, threads: usize) -> Self {
         APSP_COMPUTES.fetch_add(1, Ordering::Relaxed);
         let n = g.node_count();
-        let mut dist = vec![UNREACHABLE; n * n];
         let engine = engine.resolve(g);
+        let _span = ort_telemetry::span_with(
+            "apsp.compute",
+            &[
+                ("n", ort_telemetry::FieldValue::Int(n as u64)),
+                ("threads", ort_telemetry::FieldValue::Int(threads as u64)),
+                (
+                    "engine",
+                    ort_telemetry::FieldValue::Str(match engine {
+                        ApspEngine::Queue => "queue",
+                        ApspEngine::Bitset => "bitset",
+                        ApspEngine::Auto => unreachable!("resolve() never returns Auto"),
+                    }),
+                ),
+            ],
+        );
+        ort_telemetry::counter!("apsp.computes").incr();
+        ort_telemetry::counter!("apsp.sources").add(n as u64);
+        match engine {
+            ApspEngine::Queue => ort_telemetry::counter!("apsp.engine.queue").incr(),
+            ApspEngine::Bitset => ort_telemetry::counter!("apsp.engine.bitset").incr(),
+            ApspEngine::Auto => unreachable!("resolve() never returns Auto"),
+        }
+        let mut dist = vec![UNREACHABLE; n * n];
         let fill = |src: NodeId, row: &mut [u32]| match engine {
             ApspEngine::Queue => bfs_queue_into(g, src, row),
             ApspEngine::Bitset => bfs_bitset_into(g, src, row),
             ApspEngine::Auto => unreachable!("resolve() never returns Auto"),
         };
+        // Frontier expansions are accumulated per worker and added to the
+        // counter in one batch: increments commute, so the total is the
+        // same under any thread count.
+        let expansions = ort_telemetry::counter!("apsp.frontier_expansions");
         if threads <= 1 || n <= 1 {
+            let mut local = 0u64;
             for (src, row) in dist.chunks_mut(n.max(1)).enumerate() {
-                fill(src, row);
+                local += fill(src, row);
             }
+            expansions.add(local);
             return Apsp { n, dist };
         }
         #[cfg(feature = "parallel")]
@@ -355,14 +394,20 @@ impl Apsp {
             // Contiguous row blocks per thread: every thread owns a
             // disjoint &mut slice of the matrix, so no synchronisation is
             // needed and the bytes match the serial result exactly.
+            let ctx = ort_telemetry::Context::current();
             let rows_per = n.div_ceil(threads.min(n));
             std::thread::scope(|s| {
                 for (ci, chunk) in dist.chunks_mut(rows_per * n).enumerate() {
                     let fill = &fill;
+                    let ctx = ctx.clone();
                     s.spawn(move || {
+                        let _ctx = ctx.enter();
+                        let _span = ort_telemetry::span("apsp.worker");
+                        let mut local = 0u64;
                         for (ri, row) in chunk.chunks_mut(n).enumerate() {
-                            fill(ci * rows_per + ri, row);
+                            local += fill(ci * rows_per + ri, row);
                         }
+                        expansions.add(local);
                     });
                 }
             });

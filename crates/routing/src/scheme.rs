@@ -257,6 +257,16 @@ pub trait RoutingScheme: Send + Sync {
         self.node_bits(u).len()
     }
 
+    /// Of [`RoutingScheme::node_size_bits`], how many bits encode the
+    /// node's port permutation (Theorem 8's unavoidable `⌈log d!⌉`
+    /// charge). Zero for every scheme that does not store one; the
+    /// IA ∧ α compact scheme overrides this with its Lehmer-code width.
+    /// Feeds the bit-accounting breakdown (`crate::accounting`).
+    fn port_permutation_bits(&self, u: NodeId) -> usize {
+        let _ = u;
+        0
+    }
+
     /// Bits charged at node `u`: routing function plus (in model γ) its
     /// label.
     fn charged_size_bits(&self, u: NodeId) -> usize {

@@ -110,6 +110,10 @@ impl RoutingScheme for IaCompactScheme {
         &self.ports
     }
 
+    fn port_permutation_bits(&self, u: NodeId) -> usize {
+        lehmer::permutation_code_width(self.ports.degree(u))
+    }
+
     fn decode_router(&self, u: NodeId) -> Result<Box<dyn LocalRouter + '_>, SchemeError> {
         if u >= self.bits.len() {
             return Err(SchemeError::NodeOutOfRange { node: u });

@@ -120,6 +120,10 @@ impl RoutingScheme for ResilientScheme {
         self.inner.port_assignment()
     }
 
+    fn port_permutation_bits(&self, u: NodeId) -> usize {
+        self.inner.port_permutation_bits(u)
+    }
+
     fn decode_router(&self, u: NodeId) -> Result<Box<dyn LocalRouter + '_>, SchemeError> {
         let inner = self.inner.decode_router(u)?;
         Ok(Box::new(ResilientRouter { inner, detour_budget: self.detour_budget }))

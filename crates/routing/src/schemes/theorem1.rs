@@ -155,16 +155,27 @@ impl Theorem1Scheme {
 
     fn build_full(g: &Graph, variant: Variant, cutoff: CutoffPolicy) -> Result<Self, SchemeError> {
         let n = g.node_count();
+        let _span = ort_telemetry::span_with(
+            "theorem1.build",
+            &[("n", ort_telemetry::FieldValue::Int(n as u64))],
+        );
         if n < 2 {
             return Err(SchemeError::Precondition { reason: "need at least 2 nodes".into() });
         }
-        if !ort_graphs::paths::is_connected(g) {
-            return Err(SchemeError::Disconnected);
+        {
+            let _s = ort_telemetry::span("theorem1.connectivity");
+            if !ort_graphs::paths::is_connected(g) {
+                return Err(SchemeError::Disconnected);
+            }
         }
         let mut bits = Vec::with_capacity(n);
-        for u in 0..n {
-            bits.push(Self::encode_node(g, u, variant, cutoff)?);
+        {
+            let _s = ort_telemetry::span("theorem1.encode_tables");
+            for u in 0..n {
+                bits.push(Self::encode_node(g, u, variant, cutoff)?);
+            }
         }
+        let _s = ort_telemetry::span("theorem1.port_assignment");
         Ok(Theorem1Scheme {
             variant,
             bits,

@@ -187,8 +187,9 @@ pub fn default_hop_limit(n: usize) -> usize {
 /// undefined); per-pair routing problems are reported inside the
 /// [`VerifyReport`], not as errors.
 pub fn verify_scheme(g: &Graph, scheme: &dyn RoutingScheme) -> Result<VerifyReport, SchemeError> {
+    ort_telemetry::counter!("oracle.computed").incr();
     let oracle = Apsp::compute(g).into_oracle();
-    verify_scheme_with_oracle(g, scheme, &oracle)
+    verify_with(g, scheme, &oracle, 1)
 }
 
 /// As [`verify_scheme`], but measures stretch against a caller-supplied
@@ -205,6 +206,7 @@ pub fn verify_scheme_with_oracle(
     scheme: &dyn RoutingScheme,
     oracle: &DistanceOracle,
 ) -> Result<VerifyReport, SchemeError> {
+    ort_telemetry::counter!("oracle.reused").incr();
     verify_with(g, scheme, oracle, 1)
 }
 
@@ -219,6 +221,7 @@ pub fn verify_scheme_sampled(
     scheme: &dyn RoutingScheme,
     stride: usize,
 ) -> Result<VerifyReport, SchemeError> {
+    ort_telemetry::counter!("oracle.computed").incr();
     let oracle = Apsp::compute(g).into_oracle();
     verify_with(g, scheme, &oracle, stride)
 }
@@ -235,6 +238,7 @@ pub fn verify_scheme_sampled_with_oracle(
     oracle: &DistanceOracle,
     stride: usize,
 ) -> Result<VerifyReport, SchemeError> {
+    ort_telemetry::counter!("oracle.reused").incr();
     verify_with(g, scheme, oracle, stride)
 }
 
@@ -259,6 +263,13 @@ fn verify_with(
     }
     let limit = default_hop_limit(n);
     let stride = stride.max(1);
+    let _span = ort_telemetry::span_with(
+        "verify",
+        &[
+            ("n", ort_telemetry::FieldValue::Int(n as u64)),
+            ("stride", ort_telemetry::FieldValue::Int(stride as u64)),
+        ],
+    );
     let partials = map_sources(n, |s| {
         let mut p = VerifyReport {
             delivered: 0,
@@ -295,6 +306,8 @@ fn verify_with(
         report.stretches.extend(p.stretches);
         report.total_hops += p.total_hops;
     }
+    ort_telemetry::counter!("verify.pairs").add((report.delivered + report.failures.len()) as u64);
+    ort_telemetry::counter!("verify.hops").add(report.total_hops);
     Ok(report)
 }
 
@@ -308,12 +321,17 @@ fn map_sources<R: Send>(n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
         return (0..n).map(f).collect();
     }
     let chunk = n.div_ceil(threads);
+    let ctx = ort_telemetry::Context::current();
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..n)
             .step_by(chunk)
             .map(|start| {
                 let f = &f;
-                s.spawn(move || (start..(start + chunk).min(n)).map(f).collect::<Vec<R>>())
+                let ctx = ctx.clone();
+                s.spawn(move || {
+                    let _ctx = ctx.enter();
+                    (start..(start + chunk).min(n)).map(f).collect::<Vec<R>>()
+                })
             })
             .collect();
         handles

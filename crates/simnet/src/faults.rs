@@ -371,6 +371,7 @@ impl FaultState {
     /// fault, then the partition cut.
     #[must_use]
     pub fn check_hop(&self, u: NodeId, v: NodeId) -> Option<HopFault> {
+        ort_telemetry::counter!("simnet.fault_checks").incr();
         if self.is_crashed(u) {
             return Some(HopFault::NodeCrashed(u));
         }

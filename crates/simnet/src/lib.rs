@@ -218,6 +218,29 @@ impl FailureBreakdown {
     }
 }
 
+/// A per-reason table of the nonzero failure counts, one `reason  count`
+/// line each (or a single `no failures` line). Used verbatim by
+/// `ort resilience --verbose`.
+impl fmt::Display for FailureBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.total() == 0 {
+            return write!(f, "    no failures");
+        }
+        let mut first = true;
+        for (name, count) in self.entries() {
+            if count == 0 {
+                continue;
+            }
+            if !first {
+                writeln!(f)?;
+            }
+            first = false;
+            write!(f, "    {name:<18} {count:>10}")?;
+        }
+        Ok(())
+    }
+}
+
 /// Aggregate statistics over the life of a [`Network`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Stats {
@@ -233,6 +256,19 @@ pub struct Stats {
     /// because an earlier one was unusable — the failovers that saved a
     /// message from a fault.
     pub reroutes: u64,
+}
+
+/// A multi-line human-readable summary: delivery/failure totals, hop and
+/// reroute counts, and the per-reason [`FailureBreakdown`] table.
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "  delivered {}  failed {}  hops {}  reroutes {}",
+            self.delivered, self.failed, self.total_hops, self.reroutes
+        )?;
+        write!(f, "{}", self.failures)
+    }
 }
 
 /// A simulated network running one routing scheme.
@@ -351,10 +387,12 @@ impl<'a> Network<'a> {
         }
         self.epoch += 1;
         let result = self.route(s, t);
+        ort_telemetry::counter!("simnet.sends").incr();
         match &result {
             Ok(d) => {
                 self.stats.delivered += 1;
                 self.stats.total_hops += d.hops() as u64;
+                ort_telemetry::counter!("simnet.hops").add(d.hops() as u64);
                 // Every node that transmitted the message carries load.
                 for &x in &d.path[..d.path.len() - 1] {
                     self.loads[x] += 1;
@@ -363,6 +401,7 @@ impl<'a> Network<'a> {
             Err(e) => {
                 self.stats.failed += 1;
                 self.stats.failures.record(e);
+                ort_telemetry::counter!("simnet.failures").incr();
             }
         }
         result
@@ -425,6 +464,7 @@ impl<'a> Network<'a> {
                 RouteDecision::Deliver => {
                     return if cur == t {
                         self.stats.reroutes += reroutes;
+                        ort_telemetry::counter!("simnet.reroutes").add(reroutes);
                         Ok(Delivery { path })
                     } else {
                         Err(SimError::Misdelivered { at: cur })

@@ -32,9 +32,9 @@ use ort_graphs::paths::Apsp;
 use ort_routing::scheme::RoutingScheme;
 
 use crate::faults::{FaultPlan, FaultState, InvalidFault};
-use crate::rounds::{RetryPolicy, RoundSimulator};
+use crate::rounds::{RetryPolicy, RoundReport, RoundSimulator};
 use crate::workloads::all_pairs;
-use crate::{FailureBreakdown, Network};
+use crate::{FailureBreakdown, Network, Stats};
 
 /// Knobs for one sweep cell, shared across every scheme so cells are
 /// comparable.
@@ -177,7 +177,32 @@ pub fn run_cell(
     plan: &FaultPlan,
     cfg: &ResilienceConfig,
 ) -> Result<CellMetrics, InvalidFault> {
+    run_cell_detailed(scheme, apsp, plan, cfg).map(|(metrics, _, _)| metrics)
+}
+
+/// Like [`run_cell`], but also returns the raw per-face reports — the
+/// hop-level [`Stats`] and the round-face [`RoundReport`] — so callers can
+/// render their `Display` tables (`ort resilience --verbose`).
+///
+/// # Errors
+///
+/// Returns [`InvalidFault`] if the plan names links or nodes the scheme's
+/// topology does not have.
+pub fn run_cell_detailed(
+    scheme: &dyn RoutingScheme,
+    apsp: &Apsp,
+    plan: &FaultPlan,
+    cfg: &ResilienceConfig,
+) -> Result<(CellMetrics, Stats, RoundReport), InvalidFault> {
     let n = scheme.node_count();
+    let _span = ort_telemetry::span_with(
+        "resilience.cell",
+        &[
+            ("n", ort_telemetry::FieldValue::Int(n as u64)),
+            ("events", ort_telemetry::FieldValue::Int(plan.events().len() as u64)),
+        ],
+    );
+    ort_telemetry::counter!("resilience.cells").incr();
 
     // Reachability under the static fault load, for failure attribution.
     let mut fs = FaultState::new(scheme.port_assignment());
@@ -223,7 +248,7 @@ pub fn run_cell(
     sim.set_retry_policy(cfg.retry);
     let report = sim.run(&all_pairs(n));
 
-    Ok(CellMetrics {
+    let metrics = CellMetrics {
         pairs: stats.delivered + stats.failed,
         delivered: stats.delivered,
         failures: stats.failures,
@@ -243,7 +268,8 @@ pub fn run_cell(
         round_reroutes: report.reroutes,
         mean_latency: report.mean_latency(),
         max_queue: report.max_queue as u64,
-    })
+    };
+    Ok((metrics, stats, report))
 }
 
 /// Checks the sweep's contractual properties; returns one message per

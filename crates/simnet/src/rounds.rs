@@ -60,6 +60,29 @@ pub struct RoundReport {
     pub max_queue: usize,
 }
 
+/// A multi-line human-readable summary: round/delivery totals, retry and
+/// reroute counts, latency and queue statistics, and the per-reason
+/// failure table. Used verbatim by `ort resilience --verbose`.
+impl std::fmt::Display for RoundReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "  rounds {}  delivered {}  errored {}  stranded {}",
+            self.rounds, self.delivered, self.errored, self.stranded
+        )?;
+        write!(
+            f,
+            "  retries {}  reroutes {}  max_queue {}",
+            self.retries, self.reroutes, self.max_queue
+        )?;
+        if let (Some(mean), Some(max)) = (self.mean_latency(), self.max_latency()) {
+            write!(f, "  latency mean {mean:.2} max {max}")?;
+        }
+        writeln!(f)?;
+        write!(f, "{}", self.errored_by)
+    }
+}
+
 impl RoundReport {
     /// Mean delivery latency in rounds.
     #[must_use]
@@ -180,6 +203,13 @@ impl<'a> RoundSimulator<'a> {
     #[must_use]
     pub fn run(&self, workload: &[(NodeId, NodeId)]) -> RoundReport {
         let n = self.scheme.node_count();
+        let _span = ort_telemetry::span_with(
+            "simnet.rounds",
+            &[
+                ("n", ort_telemetry::FieldValue::Int(n as u64)),
+                ("messages", ort_telemetry::FieldValue::Int(workload.len() as u64)),
+            ],
+        );
         let mut faults = FaultState::new(self.scheme.port_assignment());
         let mut queues: Vec<VecDeque<InFlight>> = vec![VecDeque::new(); n];
         let mut in_flight = 0usize;
@@ -388,6 +418,9 @@ impl<'a> RoundSimulator<'a> {
             report.max_queue = report.max_queue.max(max_q);
         }
         report.stranded = in_flight;
+        ort_telemetry::counter!("simnet.retries").add(report.retries);
+        ort_telemetry::counter!("simnet.reroutes").add(report.reroutes);
+        ort_telemetry::gauge!("simnet.max_queue").set_max(report.max_queue as u64);
         report
     }
 }

@@ -1,0 +1,207 @@
+//! Typed counters and gauges: process-global named atomics.
+//!
+//! A [`Counter`] is created per call site by the [`counter!`] macro as a
+//! `static`, registered in a global list on first use, and bumped with
+//! relaxed atomic adds — increments commute, so totals are deterministic
+//! under any thread count. Two call sites may share a name; snapshots sum
+//! per name. A [`Gauge`] stores the last value written instead.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A monotonically increasing named counter. Create via [`counter!`].
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+/// A last-value-wins named gauge. Create via [`gauge!`].
+#[derive(Debug)]
+pub struct Gauge {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+static COUNTERS: Mutex<Vec<&'static Counter>> = Mutex::new(Vec::new());
+static GAUGES: Mutex<Vec<&'static Gauge>> = Mutex::new(Vec::new());
+
+fn lock<T>(m: &'static Mutex<Vec<T>>) -> std::sync::MutexGuard<'static, Vec<T>> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Counter {
+    /// Creates an unregistered counter (registration happens on first
+    /// [`Counter::add`]). `const` so the [`counter!`] macro can place it
+    /// in a `static`.
+    #[must_use]
+    pub const fn new(name: &'static str) -> Self {
+        Counter { name, value: AtomicU64::new(0), registered: AtomicBool::new(false) }
+    }
+
+    /// Adds `delta`. No-op when the `enabled` feature is off.
+    pub fn add(&'static self, delta: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            lock(&COUNTERS).push(self);
+        }
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    pub fn incr(&'static self) {
+        self.add(1);
+    }
+
+    /// Current value of this call site's counter (a snapshot sums all
+    /// call sites sharing the name).
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// The counter's name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl Gauge {
+    /// Creates an unregistered gauge (registration happens on first
+    /// [`Gauge::set`]).
+    #[must_use]
+    pub const fn new(name: &'static str) -> Self {
+        Gauge { name, value: AtomicU64::new(0), registered: AtomicBool::new(false) }
+    }
+
+    /// Stores `value` (last write wins). No-op when the `enabled` feature
+    /// is off.
+    pub fn set(&'static self, value: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            lock(&GAUGES).push(self);
+        }
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `value` if it is larger (high-water marks).
+    pub fn set_max(&'static self, value: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            lock(&GAUGES).push(self);
+        }
+        self.value.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// The gauge's name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// Declares (once, statically, at the call site) and yields a
+/// `&'static Counter`:
+///
+/// ```
+/// ort_telemetry::counter!("apsp.sources").add(64);
+/// ```
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static COUNTER: $crate::counter::Counter = $crate::counter::Counter::new($name);
+        &COUNTER
+    }};
+}
+
+/// Declares (once, statically, at the call site) and yields a
+/// `&'static Gauge`:
+///
+/// ```
+/// ort_telemetry::gauge!("simnet.max_queue").set_max(17);
+/// ```
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static GAUGE: $crate::counter::Gauge = $crate::counter::Gauge::new($name);
+        &GAUGE
+    }};
+}
+
+/// All counter values summed per name, sorted by name.
+#[must_use]
+pub(crate) fn counter_values() -> Vec<(&'static str, u64)> {
+    merge(lock(&COUNTERS).iter().map(|c| (c.name, c.get())))
+}
+
+/// All gauge values, sorted by name. Gauges sharing a name keep the
+/// largest value (gauges are high-water marks or config echoes; summing
+/// them would be meaningless).
+#[must_use]
+pub(crate) fn gauge_values() -> Vec<(&'static str, u64)> {
+    let mut map: std::collections::BTreeMap<&'static str, u64> = std::collections::BTreeMap::new();
+    for g in lock(&GAUGES).iter() {
+        let v = map.entry(g.name).or_insert(0);
+        *v = (*v).max(g.get());
+    }
+    map.into_iter().collect()
+}
+
+fn merge(items: impl Iterator<Item = (&'static str, u64)>) -> Vec<(&'static str, u64)> {
+    let mut map: std::collections::BTreeMap<&'static str, u64> = std::collections::BTreeMap::new();
+    for (name, v) in items {
+        *map.entry(name).or_insert(0) += v;
+    }
+    map.into_iter().collect()
+}
+
+/// Zeroes every registered counter and gauge (registration survives).
+pub(crate) fn zero_all() {
+    for c in lock(&COUNTERS).iter() {
+        c.value.store(0, Ordering::Relaxed);
+    }
+    for g in lock(&GAUGES).iter() {
+        g.value.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn counters_sum_per_name_and_reset() {
+        // Two distinct call sites sharing one (test-unique) name.
+        counter!("test.counter.shared").add(3);
+        counter!("test.counter.shared").add(4);
+        gauge!("test.gauge.hwm").set_max(5);
+        gauge!("test.gauge.hwm").set_max(2);
+        let snap = crate::snapshot();
+        if !crate::enabled() {
+            assert!(snap.counters.is_empty());
+            return;
+        }
+        assert_eq!(snap.counter("test.counter.shared"), 7);
+        assert_eq!(snap.gauge("test.gauge.hwm"), 5);
+        crate::reset();
+        assert_eq!(crate::snapshot().counter("test.counter.shared"), 0);
+    }
+
+    #[test]
+    fn unused_counter_reads_zero() {
+        assert_eq!(crate::snapshot().counter("test.counter.never-touched"), 0);
+    }
+}

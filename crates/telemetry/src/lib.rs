@@ -1,0 +1,173 @@
+//! Zero-dependency telemetry for the optimal-routing-tables workspace.
+//!
+//! The paper's entire contribution is an *accounting* — Θ(n²) vs
+//! O(n log² n) table bits (Table 1) — and the workspace's perf work
+//! (parallel APSP, conformance, resilience sweeps) is only trustworthy if
+//! wall-clock and bit totals are observable. This crate is that layer:
+//!
+//! * **Spans** ([`span`] / [`span_with`]) — hierarchical, monotonic-clock
+//!   timed regions kept on a thread-local stack. A [`Context`] captured
+//!   before `std::thread::scope` and entered inside each worker makes
+//!   spans nest correctly across threads.
+//! * **Counters / gauges** ([`counter!`] / [`gauge!`]) — typed, named,
+//!   process-global atomics for hot-path events (frontier expansions,
+//!   oracle reuse, simulator hops…). Counter increments commute, so sums
+//!   are deterministic under any `ORT_THREADS`.
+//! * **Sinks** ([`sink`]) — a human-readable span tree, a JSONL event
+//!   stream, and a flamegraph-compatible folded-stacks dump, selected at
+//!   runtime by the `ORT_TELEMETRY` env var (see [`flush`]).
+//!
+//! # Determinism contract
+//!
+//! The global registry is strictly **append-only while a workload runs**:
+//! probes only ever push records or bump atomics, never read telemetry
+//! state back into the computation. Instrumented runs therefore produce
+//! byte-identical `results/*.json` outputs with telemetry enabled or
+//! disabled, and under any worker-thread count — the determinism matrix
+//! in CI checks exactly this. [`reset`] (an explicit, test/CLI-only
+//! operation) is the only way state is ever cleared.
+//!
+//! # Feature gate
+//!
+//! All recording sits behind the `enabled` feature (default-on,
+//! forwarded as `telemetry` by every workspace crate). With the feature
+//! off, [`enabled`] is `false` and every probe body is `cfg!`-folded to
+//! a no-op; the types and sinks still compile so call sites need no
+//! `#[cfg]`.
+//!
+//! # Example
+//!
+//! ```
+//! use ort_telemetry as telemetry;
+//!
+//! telemetry::reset();
+//! {
+//!     let _outer = telemetry::span("work");
+//!     let _inner = telemetry::span_with("work.step", &[("n", telemetry::FieldValue::Int(64))]);
+//!     telemetry::counter!("steps").incr();
+//! }
+//! let snap = telemetry::snapshot();
+//! if telemetry::enabled() {
+//!     assert_eq!(snap.counter("steps"), 1);
+//!     assert!(snap.span_paths().iter().any(|p| p == &vec!["work", "work.step"]));
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counter;
+pub mod sink;
+pub mod span;
+
+pub use counter::{Counter, Gauge};
+pub use sink::{ParsedField, ParsedSnapshot, ParsedSpan, Snapshot};
+pub use span::{span, span_with, Context, ContextGuard, FieldValue, SpanGuard, SpanRecord};
+
+/// Whether telemetry recording is compiled in (the `enabled` feature).
+/// Constant per build; probes branch on it and the disabled branch folds
+/// away entirely.
+#[must_use]
+pub const fn enabled() -> bool {
+    cfg!(feature = "enabled")
+}
+
+/// Clears all span records and zeroes every counter and gauge. Explicit
+/// and test/CLI-only: workloads themselves never clear telemetry state
+/// (the registry is append-only while they run).
+pub fn reset() {
+    span::clear_records();
+    counter::zero_all();
+}
+
+/// Captures the current telemetry state: all completed span records (in
+/// completion order) and all counter/gauge values (summed per name,
+/// sorted by name).
+#[must_use]
+pub fn snapshot() -> Snapshot {
+    Snapshot { spans: span::records(), counters: counter::counter_values(), gauges: counter::gauge_values() }
+}
+
+/// The sink selection parsed from `ORT_TELEMETRY`.
+///
+/// The variable holds a comma-separated list of sinks:
+///
+/// * `summary` — human-readable span tree + counter table on stderr;
+/// * `jsonl:<path>` — one JSON object per span record / counter / gauge;
+/// * `folded:<path>` — flamegraph-compatible folded stacks
+///   (`a;b;c <ns>` lines).
+///
+/// Unset, empty, or `off` means no sink; unknown entries are reported on
+/// stderr and skipped.
+#[must_use]
+pub fn configured_sinks() -> Vec<String> {
+    match std::env::var("ORT_TELEMETRY") {
+        Ok(v) if !v.is_empty() && v != "off" => {
+            v.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect()
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// Whether the `summary` sink is active (used by CLI error paths to
+/// decide whether to attach the telemetry summary to a failure report).
+#[must_use]
+pub fn summary_sink_active() -> bool {
+    enabled() && configured_sinks().iter().any(|s| s == "summary")
+}
+
+/// Emits the current snapshot to every sink configured in
+/// `ORT_TELEMETRY`. Write failures are reported on stderr, never fatal
+/// (telemetry must not change a run's outcome).
+pub fn flush() {
+    if !enabled() {
+        return;
+    }
+    let sinks = configured_sinks();
+    if sinks.is_empty() {
+        return;
+    }
+    let snap = snapshot();
+    for s in sinks {
+        if s == "summary" {
+            eprint!("{}", snap.summary_tree());
+        } else if let Some(path) = s.strip_prefix("jsonl:") {
+            if let Err(e) = std::fs::write(path, snap.jsonl()) {
+                eprintln!("telemetry: cannot write jsonl sink {path}: {e}");
+            }
+        } else if let Some(path) = s.strip_prefix("folded:") {
+            if let Err(e) = std::fs::write(path, snap.folded()) {
+                eprintln!("telemetry: cannot write folded sink {path}: {e}");
+            }
+        } else {
+            eprintln!("telemetry: unknown ORT_TELEMETRY sink '{s}' (expected summary, jsonl:<path>, folded:<path>)");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // The crate's behavioural tests live in the sibling modules; here we
+    // only pin the top-level plumbing that needs the whole crate.
+    use super::*;
+
+    #[test]
+    fn sink_spec_parsing() {
+        // configured_sinks reads the environment; exercise the parse via a
+        // scoped set/remove. Tests in this crate run in one process, so
+        // keep the variable name unique to this test.
+        std::env::set_var("ORT_TELEMETRY", "summary, jsonl:/tmp/t.jsonl ,,folded:/tmp/t.folded");
+        let sinks = configured_sinks();
+        std::env::remove_var("ORT_TELEMETRY");
+        assert_eq!(sinks, vec!["summary", "jsonl:/tmp/t.jsonl", "folded:/tmp/t.folded"]);
+        assert!(configured_sinks().is_empty());
+        std::env::set_var("ORT_TELEMETRY", "off");
+        assert!(configured_sinks().is_empty());
+        std::env::remove_var("ORT_TELEMETRY");
+    }
+
+    #[test]
+    fn enabled_matches_feature() {
+        assert_eq!(enabled(), cfg!(feature = "enabled"));
+    }
+}

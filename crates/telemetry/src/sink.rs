@@ -1,0 +1,601 @@
+//! Sinks: rendering a telemetry [`Snapshot`] for humans and tools.
+//!
+//! Three formats, selected at runtime through `ORT_TELEMETRY` (see
+//! [`crate::flush`]):
+//!
+//! * **summary** — an indented span tree (calls × total wall time per
+//!   path) followed by counter and gauge tables;
+//! * **jsonl** — one self-contained JSON object per span record (in
+//!   completion order), then per counter and gauge; round-trips through
+//!   [`parse_jsonl`];
+//! * **folded** — `outer;inner <ns>` lines, aggregated per path and
+//!   sorted, directly consumable by standard flamegraph tooling.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::span::{FieldValue, SpanRecord};
+
+/// Per-path aggregate used while building the summary tree:
+/// `(calls, total ns, fields from the first record)`.
+type PathAggregate = (u64, u64, Vec<(&'static str, FieldValue)>);
+
+/// A point-in-time copy of all recorded telemetry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Completed spans, in completion order.
+    pub spans: Vec<SpanRecord>,
+    /// Counter totals, summed per name, sorted by name.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Gauge values, sorted by name.
+    pub gauges: Vec<(&'static str, u64)>,
+}
+
+impl Snapshot {
+    /// Captures the current global state (see [`crate::snapshot`]).
+    #[must_use]
+    pub fn capture() -> Snapshot {
+        crate::snapshot()
+    }
+
+    /// The value of the named counter (0 if never touched).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(n, _)| *n == name).map_or(0, |&(_, v)| v)
+    }
+
+    /// The value of the named gauge (0 if never touched).
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.iter().find(|(n, _)| *n == name).map_or(0, |&(_, v)| v)
+    }
+
+    /// Every distinct span path, in first-completion order.
+    #[must_use]
+    pub fn span_paths(&self) -> Vec<Vec<&'static str>> {
+        let mut seen = Vec::new();
+        for r in &self.spans {
+            if !seen.contains(&r.path) {
+                seen.push(r.path.clone());
+            }
+        }
+        seen
+    }
+
+    /// `(calls, total ns)` for every record whose span *name* (path leaf)
+    /// is `leaf`.
+    #[must_use]
+    pub fn span_totals(&self, leaf: &str) -> (u64, u64) {
+        let mut calls = 0;
+        let mut ns = 0;
+        for r in &self.spans {
+            if r.path.last() == Some(&leaf) {
+                calls += 1;
+                ns += r.ns;
+            }
+        }
+        (calls, ns)
+    }
+
+    /// The human-readable summary: span tree, counters, gauges.
+    #[must_use]
+    pub fn summary_tree(&self) -> String {
+        let mut out = String::new();
+        out.push_str("── telemetry summary ──\n");
+        if self.spans.is_empty() {
+            out.push_str("(no spans recorded)\n");
+        } else {
+            // Aggregate per full path, keeping first-completion order so
+            // the tree reads chronologically; parents print before
+            // children via path-prefix grouping.
+            let mut order: Vec<Vec<&'static str>> = Vec::new();
+            let mut agg: BTreeMap<Vec<&'static str>, PathAggregate> = BTreeMap::new();
+            for r in &self.spans {
+                let e = agg.entry(r.path.clone()).or_insert_with(|| {
+                    order.push(r.path.clone());
+                    (0, 0, r.fields.clone())
+                });
+                e.0 += 1;
+                e.1 += r.ns;
+            }
+            // Parents close after children, so sort paths depth-first by
+            // (prefix chain in first-seen order). Render by walking the
+            // unique paths sorted so that a parent immediately precedes
+            // its children; first-seen order breaks ties at each level.
+            let rank: BTreeMap<Vec<&'static str>, usize> =
+                order.iter().cloned().enumerate().map(|(i, p)| (p, i)).collect();
+            let mut paths = order.clone();
+            paths.sort_by(|a, b| {
+                // Compare component-wise by each prefix's first-seen rank.
+                let depth = a.len().min(b.len());
+                for d in 1..=depth {
+                    if a[..d] == b[..d] {
+                        continue;
+                    }
+                    let ra = rank.get(&a[..d]).copied().unwrap_or(usize::MAX);
+                    let rb = rank.get(&b[..d]).copied().unwrap_or(usize::MAX);
+                    return ra.cmp(&rb).then_with(|| a[d - 1].cmp(b[d - 1]));
+                }
+                a.len().cmp(&b.len())
+            });
+            for p in paths {
+                let (calls, ns, fields) = &agg[&p];
+                let indent = "  ".repeat(p.len() - 1);
+                let name = p.last().expect("paths are non-empty");
+                let mut line = format!(
+                    "{indent}{name:<width$} {calls:>6} call{s} {ms:>12.3} ms",
+                    width = 40usize.saturating_sub(indent.len()),
+                    s = if *calls == 1 { " " } else { "s" },
+                    ms = *ns as f64 / 1e6,
+                );
+                if !fields.is_empty() {
+                    let rendered: Vec<String> = fields
+                        .iter()
+                        .map(|(k, v)| match v {
+                            FieldValue::Int(i) => format!("{k}={i}"),
+                            FieldValue::Str(s) => format!("{k}={s}"),
+                        })
+                        .collect();
+                    let _ = write!(line, "  [{}]", rendered.join(", "));
+                }
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("── counters ──\n");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "{name:<42} {v:>14}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("── gauges ──\n");
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "{name:<42} {v:>14}");
+            }
+        }
+        out
+    }
+
+    /// Flamegraph-compatible folded stacks: `a;b;c <ns>` per distinct
+    /// path, summed and sorted lexicographically.
+    #[must_use]
+    pub fn folded(&self) -> String {
+        let mut agg: BTreeMap<String, u64> = BTreeMap::new();
+        for r in &self.spans {
+            *agg.entry(r.path.join(";")).or_insert(0) += r.ns;
+        }
+        let mut out = String::new();
+        for (path, ns) in agg {
+            let _ = writeln!(out, "{path} {ns}");
+        }
+        out
+    }
+
+    /// The JSONL event stream: one object per span record (completion
+    /// order), then one per counter and gauge (name order).
+    #[must_use]
+    pub fn jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.spans {
+            out.push_str("{\"type\":\"span\",\"path\":[");
+            for (i, seg) in r.path.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_str(&mut out, seg);
+            }
+            let _ = write!(out, "],\"ns\":{},\"thread\":{},\"fields\":{{", r.ns, r.thread);
+            for (i, (k, v)) in r.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_str(&mut out, k);
+                out.push(':');
+                match v {
+                    FieldValue::Int(x) => {
+                        let _ = write!(out, "{x}");
+                    }
+                    FieldValue::Str(s) => write_json_str(&mut out, s),
+                }
+            }
+            out.push_str("}}\n");
+        }
+        for (name, v) in &self.counters {
+            out.push_str("{\"type\":\"counter\",\"name\":");
+            write_json_str(&mut out, name);
+            let _ = writeln!(out, ",\"value\":{v}}}");
+        }
+        for (name, v) in &self.gauges {
+            out.push_str("{\"type\":\"gauge\",\"name\":");
+            write_json_str(&mut out, name);
+            let _ = writeln!(out, ",\"value\":{v}}}");
+        }
+        out
+    }
+
+    /// The owned-string mirror of this snapshot, for comparing against a
+    /// [`parse_jsonl`] round trip.
+    #[must_use]
+    pub fn to_parsed(&self) -> ParsedSnapshot {
+        ParsedSnapshot {
+            spans: self
+                .spans
+                .iter()
+                .map(|r| ParsedSpan {
+                    path: r.path.iter().map(|s| (*s).to_string()).collect(),
+                    ns: r.ns,
+                    thread: r.thread,
+                    fields: r
+                        .fields
+                        .iter()
+                        .map(|(k, v)| {
+                            ((*k).to_string(), match v {
+                                FieldValue::Int(x) => ParsedField::Int(*x),
+                                FieldValue::Str(s) => ParsedField::Str((*s).to_string()),
+                            })
+                        })
+                        .collect(),
+                })
+                .collect(),
+            counters: self.counters.iter().map(|(n, v)| ((*n).to_string(), *v)).collect(),
+            gauges: self.gauges.iter().map(|(n, v)| ((*n).to_string(), *v)).collect(),
+        }
+    }
+}
+
+/// A span event read back from a JSONL stream (owned strings).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedSpan {
+    /// Span path, outermost first.
+    pub path: Vec<String>,
+    /// Elapsed nanoseconds.
+    pub ns: u64,
+    /// Recording thread id.
+    pub thread: u64,
+    /// Typed metadata fields.
+    pub fields: Vec<(String, ParsedField)>,
+}
+
+/// A field value read back from a JSONL stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParsedField {
+    /// An unsigned integer field.
+    Int(u64),
+    /// A string field.
+    Str(String),
+}
+
+/// A full telemetry stream read back from JSONL.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParsedSnapshot {
+    /// Span events, in stream order.
+    pub spans: Vec<ParsedSpan>,
+    /// Counter events, in stream order.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge events, in stream order.
+    pub gauges: Vec<(String, u64)>,
+}
+
+/// Parses a JSONL stream produced by [`Snapshot::jsonl`].
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line.
+pub fn parse_jsonl(stream: &str) -> Result<ParsedSnapshot, String> {
+    let mut out = ParsedSnapshot::default();
+    for (lineno, line) in stream.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = json_parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let obj = v.as_obj().ok_or_else(|| format!("line {}: not an object", lineno + 1))?;
+        let typ = get_str(obj, "type").ok_or_else(|| format!("line {}: no type", lineno + 1))?;
+        match typ.as_str() {
+            "span" => {
+                let path = get(obj, "path")
+                    .and_then(MiniJson::as_arr)
+                    .ok_or_else(|| format!("line {}: span without path", lineno + 1))?
+                    .iter()
+                    .map(|x| x.as_str().ok_or("non-string path segment".to_string()))
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                let fields = get(obj, "fields")
+                    .and_then(MiniJson::as_obj)
+                    .map(|fs| {
+                        fs.iter()
+                            .map(|(k, v)| {
+                                let f = match v {
+                                    MiniJson::Num(x) => ParsedField::Int(*x),
+                                    MiniJson::Str(s) => ParsedField::Str(s.clone()),
+                                    _ => ParsedField::Int(0),
+                                };
+                                (k.clone(), f)
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                out.spans.push(ParsedSpan {
+                    path,
+                    ns: get_num(obj, "ns").unwrap_or(0),
+                    thread: get_num(obj, "thread").unwrap_or(0),
+                    fields,
+                });
+            }
+            "counter" | "gauge" => {
+                let name = get_str(obj, "name")
+                    .ok_or_else(|| format!("line {}: {typ} without name", lineno + 1))?;
+                let value = get_num(obj, "value")
+                    .ok_or_else(|| format!("line {}: {typ} without value", lineno + 1))?;
+                if typ == "counter" {
+                    out.counters.push((name, value));
+                } else {
+                    out.gauges.push((name, value));
+                }
+            }
+            other => return Err(format!("line {}: unknown event type '{other}'", lineno + 1)),
+        }
+    }
+    Ok(out)
+}
+
+fn write_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ── A minimal JSON reader, scoped to what the emitter above writes:
+// objects, arrays, strings with the escapes we emit, and unsigned
+// integers. Kept private; the workspace-wide parser lives in
+// ort-conformance's json module.
+
+enum MiniJson {
+    Str(String),
+    Num(u64),
+    Arr(Vec<MiniJson>),
+    Obj(Vec<(String, MiniJson)>),
+}
+
+impl MiniJson {
+    fn as_str(&self) -> Option<String> {
+        match self {
+            MiniJson::Str(s) => Some(s.clone()),
+            _ => None,
+        }
+    }
+    fn as_arr(&self) -> Option<&[MiniJson]> {
+        match self {
+            MiniJson::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+    fn as_obj(&self) -> Option<&[(String, MiniJson)]> {
+        match self {
+            MiniJson::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+}
+
+fn get<'a>(obj: &'a [(String, MiniJson)], key: &str) -> Option<&'a MiniJson> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn get_str(obj: &[(String, MiniJson)], key: &str) -> Option<String> {
+    get(obj, key).and_then(MiniJson::as_str)
+}
+
+fn get_num(obj: &[(String, MiniJson)], key: &str) -> Option<u64> {
+    match get(obj, key) {
+        Some(MiniJson::Num(x)) => Some(*x),
+        _ => None,
+    }
+}
+
+fn json_parse(s: &str) -> Result<MiniJson, String> {
+    let bytes: Vec<char> = s.chars().collect();
+    let mut pos = 0;
+    let v = parse_value(&bytes, &mut pos)?;
+    skip_ws(&bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing characters at {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[char], pos: &mut usize) {
+    while *pos < b.len() && b[*pos].is_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[char], pos: &mut usize) -> Result<MiniJson, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some('"') => parse_string(b, pos).map(MiniJson::Str),
+        Some('[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&']') {
+                *pos += 1;
+                return Ok(MiniJson::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some(']') => {
+                        *pos += 1;
+                        return Ok(MiniJson::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some('{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&'}') {
+                *pos += 1;
+                return Ok(MiniJson::Obj(pairs));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&':') {
+                    return Err(format!("expected ':' at {pos}", pos = *pos));
+                }
+                *pos += 1;
+                pairs.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some('}') => {
+                        *pos += 1;
+                        return Ok(MiniJson::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(c) if c.is_ascii_digit() => {
+            let start = *pos;
+            while b.get(*pos).is_some_and(char::is_ascii_digit) {
+                *pos += 1;
+            }
+            let text: String = b[start..*pos].iter().collect();
+            text.parse().map(MiniJson::Num).map_err(|_| format!("bad number '{text}'"))
+        }
+        other => Err(format!("unexpected {other:?} at {pos}", pos = *pos)),
+    }
+}
+
+fn parse_string(b: &[char], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&'"') {
+        return Err(format!("expected '\"' at {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            '"' => return Ok(out),
+            '\\' => {
+                let esc = b.get(*pos).copied().ok_or("dangling escape")?;
+                *pos += 1;
+                match esc {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'u' => {
+                        if *pos + 4 > b.len() {
+                            return Err("truncated \\u escape".into());
+                        }
+                        let hex: String = b[*pos..*pos + 4].iter().collect();
+                        *pos += 4;
+                        let code =
+                            u32::from_str_radix(&hex, 16).map_err(|_| "bad \\u escape digits")?;
+                        out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                    }
+                    other => return Err(format!("unknown escape '\\{other}'")),
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            spans: vec![
+                SpanRecord {
+                    path: vec!["profile", "profile.build"],
+                    ns: 1500,
+                    thread: 0,
+                    fields: vec![
+                        ("n", FieldValue::Int(64)),
+                        ("scheme", FieldValue::Str("theorem1")),
+                    ],
+                },
+                SpanRecord { path: vec!["profile"], ns: 2500, thread: 0, fields: vec![] },
+            ],
+            counters: vec![("apsp.sources", 64), ("verify.pairs", 4032)],
+            gauges: vec![("simnet.max_queue", 7)],
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let snap = sample();
+        let parsed = parse_jsonl(&snap.jsonl()).expect("parse back");
+        assert_eq!(parsed, snap.to_parsed());
+    }
+
+    #[test]
+    fn jsonl_rejects_garbage() {
+        assert!(parse_jsonl("{\"type\":\"span\"").is_err());
+        assert!(parse_jsonl("{\"type\":\"mystery\",\"name\":\"x\",\"value\":1}").is_err());
+        assert!(parse_jsonl("{\"type\":\"counter\",\"name\":\"x\"}").is_err());
+        // Blank lines are fine.
+        assert!(parse_jsonl("\n\n").unwrap().spans.is_empty());
+    }
+
+    #[test]
+    fn summary_tree_shape() {
+        let s = sample().summary_tree();
+        // Child indented under parent, with counts, times and fields.
+        assert!(s.contains("profile "), "{s}");
+        assert!(s.contains("  profile.build"), "{s}");
+        assert!(s.contains("[n=64, scheme=theorem1]"), "{s}");
+        assert!(s.contains("apsp.sources"), "{s}");
+        assert!(s.contains("simnet.max_queue"), "{s}");
+    }
+
+    #[test]
+    fn folded_aggregates_and_sorts() {
+        let mut snap = sample();
+        snap.spans.push(SpanRecord {
+            path: vec!["profile", "profile.build"],
+            ns: 500,
+            thread: 1,
+            fields: vec![],
+        });
+        let folded = snap.folded();
+        assert_eq!(folded, "profile 2500\nprofile;profile.build 2000\n");
+    }
+
+    #[test]
+    fn accessors() {
+        let snap = sample();
+        assert_eq!(snap.counter("apsp.sources"), 64);
+        assert_eq!(snap.counter("absent"), 0);
+        assert_eq!(snap.gauge("simnet.max_queue"), 7);
+        assert_eq!(snap.span_totals("profile.build"), (1, 1500));
+        assert_eq!(snap.span_paths().len(), 2);
+    }
+}

@@ -1,0 +1,259 @@
+//! Hierarchical spans: RAII-timed regions on a thread-local stack.
+//!
+//! A span covers a lexical scope; nesting is tracked per thread, so the
+//! full dotted path of a record is the stack of open span names at the
+//! moment it closes. Worker threads start with an empty stack — to make
+//! spans nest across `std::thread::scope`, capture [`Context::current`]
+//! before spawning and [`Context::enter`] inside each worker.
+//!
+//! Spans must close in LIFO order (guaranteed when guards live in nested
+//! scopes, which is the only supported pattern).
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A span or event field value: small typed metadata (`n = 128`,
+/// `scheme = "theorem1"`) attached to the record, not part of the
+/// aggregation key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldValue {
+    /// An unsigned integer field.
+    Int(u64),
+    /// A static string field.
+    Str(&'static str),
+}
+
+/// One completed span: its full path (outermost first, itself last), the
+/// monotonic wall time it covered, the worker thread that ran it, and its
+/// fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Stack of open span names when the span closed, outermost first;
+    /// the last element is the span's own name.
+    pub path: Vec<&'static str>,
+    /// Elapsed wall time in nanoseconds ([`Instant`]-based, monotonic).
+    pub ns: u64,
+    /// Small sequential id of the recording thread (first-use order).
+    pub thread: u64,
+    /// Typed metadata attached at open time.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// Completed spans, append-only while a workload runs.
+static RECORDS: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
+/// Next sequential thread id.
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    static THREAD_ID: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+fn thread_id() -> u64 {
+    THREAD_ID.with(|c| match c.get() {
+        Some(t) => t,
+        None => {
+            let t = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+            c.set(Some(t));
+            t
+        }
+    })
+}
+
+fn lock_records() -> std::sync::MutexGuard<'static, Vec<SpanRecord>> {
+    // A panicking test must not wedge telemetry for the whole process.
+    RECORDS.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// All completed span records, in completion order.
+#[must_use]
+pub(crate) fn records() -> Vec<SpanRecord> {
+    lock_records().clone()
+}
+
+pub(crate) fn clear_records() {
+    lock_records().clear();
+}
+
+/// Opens a span named `name` (conventionally dotted, e.g.
+/// `"apsp.compute"`). The returned guard records the span when dropped.
+pub fn span(name: &'static str) -> SpanGuard {
+    span_with(name, &[])
+}
+
+/// As [`span`], with typed metadata fields attached to the record.
+pub fn span_with(name: &'static str, fields: &[(&'static str, FieldValue)]) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { start: None, fields: Vec::new() };
+    }
+    STACK.with(|s| s.borrow_mut().push(name));
+    SpanGuard { start: Some(Instant::now()), fields: fields.to_vec() }
+}
+
+/// RAII guard for an open span; records the span on drop. Inert (and
+/// free) when the `enabled` feature is off.
+#[must_use = "a span guard must be held for the duration of the region it times"]
+pub struct SpanGuard {
+    start: Option<Instant>,
+    fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let path = STACK.with(|s| {
+            let mut st = s.borrow_mut();
+            let path = st.clone();
+            st.pop();
+            path
+        });
+        lock_records().push(SpanRecord {
+            path,
+            ns,
+            thread: thread_id(),
+            fields: std::mem::take(&mut self.fields),
+        });
+    }
+}
+
+/// A captured span stack, used to propagate nesting into worker threads:
+///
+/// ```
+/// use ort_telemetry::{span, Context};
+///
+/// let _outer = span("parallel.work");
+/// let ctx = Context::current();
+/// std::thread::scope(|s| {
+///     s.spawn(|| {
+///         let _g = ctx.enter();
+///         let _inner = span("parallel.worker");
+///         // records path ["parallel.work", "parallel.worker"]
+///     });
+/// });
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Context(Vec<&'static str>);
+
+impl Context {
+    /// Captures the calling thread's current span stack.
+    #[must_use]
+    pub fn current() -> Context {
+        if !crate::enabled() {
+            return Context(Vec::new());
+        }
+        Context(STACK.with(|s| s.borrow().clone()))
+    }
+
+    /// Installs this stack as the calling thread's span context until the
+    /// returned guard drops (the previous stack is restored).
+    pub fn enter(&self) -> ContextGuard {
+        if !crate::enabled() {
+            return ContextGuard { prev: None };
+        }
+        let prev = STACK.with(|s| std::mem::replace(&mut *s.borrow_mut(), self.0.clone()));
+        ContextGuard { prev: Some(prev) }
+    }
+}
+
+/// Restores the previous span stack on drop (see [`Context::enter`]).
+#[must_use = "dropping the guard immediately would restore the previous context at once"]
+pub struct ContextGuard {
+    prev: Option<Vec<&'static str>>,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            STACK.with(|s| *s.borrow_mut() = prev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Span tests mutate process-global state; serialize them.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+    fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn spans_nest_lexically() {
+        let _g = test_guard();
+        crate::reset();
+        {
+            let _a = span("a");
+            {
+                let _b = span_with("b", &[("n", FieldValue::Int(7))]);
+            }
+        }
+        let recs = records();
+        if !crate::enabled() {
+            assert!(recs.is_empty());
+            return;
+        }
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].path, vec!["a", "b"]);
+        assert_eq!(recs[0].fields, vec![("n", FieldValue::Int(7))]);
+        assert_eq!(recs[1].path, vec!["a"]);
+        // Inner closed first, and the outer covers the inner.
+        assert!(recs[1].ns >= recs[0].ns);
+    }
+
+    #[test]
+    fn context_carries_stack_into_threads() {
+        let _g = test_guard();
+        crate::reset();
+        {
+            let _outer = span("outer");
+            let ctx = Context::current();
+            std::thread::scope(|s| {
+                for _ in 0..2 {
+                    let ctx = ctx.clone();
+                    s.spawn(move || {
+                        let _c = ctx.enter();
+                        let _w = span("worker");
+                    });
+                }
+            });
+        }
+        if !crate::enabled() {
+            return;
+        }
+        let recs = records();
+        let worker_paths: Vec<_> =
+            recs.iter().filter(|r| r.path.last() == Some(&"worker")).collect();
+        assert_eq!(worker_paths.len(), 2);
+        for r in &worker_paths {
+            assert_eq!(r.path, vec!["outer", "worker"]);
+        }
+        // Two distinct worker threads recorded.
+        assert_ne!(worker_paths[0].thread, worker_paths[1].thread);
+    }
+
+    #[test]
+    fn context_guard_restores_previous_stack() {
+        let _g = test_guard();
+        crate::reset();
+        let _a = span("a");
+        let empty = Context::default();
+        {
+            let _c = empty.enter();
+            let _b = span("detached");
+        }
+        {
+            let _b = span("attached");
+        }
+        if !crate::enabled() {
+            return;
+        }
+        let recs = records();
+        assert_eq!(recs[0].path, vec!["detached"]);
+        assert_eq!(recs[1].path, vec!["a", "attached"]);
+    }
+}

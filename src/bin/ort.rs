@@ -4,59 +4,34 @@
 //! ort certify <n> <seed>                  check Lemmas 1-3 + compressibility
 //! ort build   <scheme> <n> <seed>         build a scheme, print size & stretch
 //! ort route   <scheme> <n> <seed> <s> <t> route one message, print the path
+//! ort profile <scheme> [--n N] [--seed S] instrumented run: spans + bit accounting
+//! ort bench-gate [--record]               bit-drift + perf-regression gate
 //! ort conformance [out.json]              run the full conformance suite
-//! ort resilience  [out.json]              fault-intensity sweep over all schemes
+//! ort resilience  [--verbose] [out.json]  fault-intensity sweep over all schemes
 //! ort schemes                             list available schemes
 //! ```
 //!
 //! Graphs are seeded `G(n, 1/2)` samples, so every invocation is
-//! reproducible.
+//! reproducible. Set `ORT_TELEMETRY=summary` (or `jsonl:<path>`,
+//! `folded:<path>`) to attach telemetry sinks to any subcommand; every
+//! exit path — success or error — flushes them.
 
 use std::process::ExitCode;
 
 use optimal_routing_tables::conformance::json::Json;
+use optimal_routing_tables::conformance::registry::SchemeId;
 use optimal_routing_tables::graphs::random_props::RandomnessReport;
 use optimal_routing_tables::graphs::{generators, Graph};
 use optimal_routing_tables::kolmogorov::deficiency::CompressorSuite;
 use optimal_routing_tables::routing::scheme::RoutingScheme;
-use optimal_routing_tables::routing::schemes::{
-    full_information::FullInformationScheme, full_table::FullTableScheme,
-    interval::IntervalScheme, landmark::LandmarkScheme, multi_interval::MultiIntervalScheme,
-    theorem1::Theorem1Scheme, theorem2::Theorem2Scheme, theorem3::Theorem3Scheme,
-    theorem4::Theorem4Scheme, theorem5::Theorem5Scheme,
-};
 use optimal_routing_tables::routing::verify;
-
-const SCHEMES: &[&str] = &[
-    "full-table",
-    "theorem1",
-    "theorem1-ib",
-    "theorem2",
-    "theorem3",
-    "theorem4",
-    "theorem5",
-    "full-information",
-    "interval",
-    "multi-interval",
-    "landmark",
-];
+use optimal_routing_tables::{gate, profile};
 
 fn build_scheme(name: &str, g: &Graph) -> Result<Box<dyn RoutingScheme>, String> {
-    let err = |e: optimal_routing_tables::routing::scheme::SchemeError| e.to_string();
-    Ok(match name {
-        "full-table" => Box::new(FullTableScheme::build(g).map_err(err)?),
-        "theorem1" => Box::new(Theorem1Scheme::build(g).map_err(err)?),
-        "theorem1-ib" => Box::new(Theorem1Scheme::build_ib(g).map_err(err)?),
-        "theorem2" => Box::new(Theorem2Scheme::build(g).map_err(err)?),
-        "theorem3" => Box::new(Theorem3Scheme::build(g).map_err(err)?),
-        "theorem4" => Box::new(Theorem4Scheme::build(g).map_err(err)?),
-        "theorem5" => Box::new(Theorem5Scheme::build(g).map_err(err)?),
-        "full-information" => Box::new(FullInformationScheme::build(g).map_err(err)?),
-        "interval" => Box::new(IntervalScheme::build(g).map_err(err)?),
-        "multi-interval" => Box::new(MultiIntervalScheme::build(g).map_err(err)?),
-        "landmark" => Box::new(LandmarkScheme::build(g, 7).map_err(err)?),
-        other => return Err(format!("unknown scheme '{other}'; try `ort schemes`")),
-    })
+    SchemeId::from_name(name)
+        .ok_or_else(|| format!("unknown scheme '{name}'; try `ort schemes`"))?
+        .build(g)
+        .map_err(|e| e.to_string())
 }
 
 fn usage() -> ExitCode {
@@ -64,26 +39,41 @@ fn usage() -> ExitCode {
     eprintln!("  ort certify <n> <seed>");
     eprintln!("  ort build   <scheme> <n> <seed>");
     eprintln!("  ort route   <scheme> <n> <seed> <src> <dst>");
+    eprintln!("  ort profile <scheme> [--n N] [--seed S]  (default n=128 seed=1)");
+    eprintln!("  ort bench-gate [--record] [--baseline p] [--bench p]");
     eprintln!("  ort save    <scheme> <n> <seed> <file>   (snapshot-capable schemes)");
     eprintln!("  ort load    <file> <src> <dst>");
     eprintln!("  ort conformance [out.json]               (default results/CONFORMANCE.json)");
-    eprintln!("  ort resilience  [out.json]               (default results/RESILIENCE.json)");
+    eprintln!("  ort resilience [--verbose] [out.json]    (default results/RESILIENCE.json)");
     eprintln!("  ort schemes");
     ExitCode::FAILURE
 }
 
 fn snapshot_kind(name: &str) -> Option<optimal_routing_tables::routing::snapshot::SchemeKind> {
-    use optimal_routing_tables::routing::snapshot::SchemeKind;
-    Some(match name {
-        "full-table" => SchemeKind::FullTable,
-        "theorem1" => SchemeKind::Theorem1,
-        "theorem1-ib" => SchemeKind::Theorem1Ib,
-        "theorem2" => SchemeKind::Theorem2,
-        "theorem5" => SchemeKind::Theorem5,
-        "full-information" => SchemeKind::FullInformation,
-        "multi-interval" => SchemeKind::MultiInterval,
-        _ => return None,
-    })
+    SchemeId::from_name(name).and_then(SchemeId::snapshot_kind)
+}
+
+/// `--flag value` pairs and the remaining positionals, in order.
+type ParsedArgs = (Vec<(String, String)>, Vec<String>);
+
+/// Pulls `--flag value` out of `args`, returning the remaining
+/// positionals. Unknown `--flags` are an error.
+fn parse_flags(args: &[String], flags: &[&str]) -> Result<ParsedArgs, String> {
+    let mut values = Vec::new();
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            if !flags.contains(&name) {
+                return Err(format!("unknown flag --{name}"));
+            }
+            let v = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+            values.push((name.to_string(), v.clone()));
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok((values, positional))
 }
 
 /// Packs a snapshot to bytes: 8-byte little-endian bit count, then the
@@ -129,15 +119,16 @@ fn bytes_to_bits(data: &[u8]) -> Result<optimal_routing_tables::bitio::BitVec, S
 /// link-fault loads of increasing intensity on three topologies. Returns
 /// the report and the acceptance violations (empty ⇒ exit 0).
 fn resilience_sweep(
+    verbose: bool,
     mut progress: impl FnMut(&str),
 ) -> Result<(Json, Vec<String>), String> {
-    use optimal_routing_tables::conformance::registry::SchemeId;
     use optimal_routing_tables::graphs::paths::Apsp;
     use optimal_routing_tables::graphs::ports::PortAssignment;
     use optimal_routing_tables::routing::schemes::resilient::ResilientScheme;
     use optimal_routing_tables::simnet::faults::FaultPlan;
     use optimal_routing_tables::simnet::resilience::{
-        acceptance_violations, resilience_hop_limit, run_cell, ResilienceConfig, SweepCell,
+        acceptance_violations, resilience_hop_limit, run_cell_detailed, ResilienceConfig,
+        SweepCell,
     };
     use optimal_routing_tables::simnet::FailureBreakdown;
 
@@ -197,8 +188,20 @@ fn resilience_sweep(
                 for (is_wrapped, scheme) in
                     [(false, bare.as_ref()), (true, &wrapped as &dyn RoutingScheme)]
                 {
-                    let metrics =
-                        run_cell(scheme, &apsp, &plans[i], &cfg).map_err(|e| e.to_string())?;
+                    let (metrics, hop_stats, round_report) =
+                        run_cell_detailed(scheme, &apsp, &plans[i], &cfg)
+                            .map_err(|e| e.to_string())?;
+                    if verbose {
+                        println!(
+                            "{tname}/{}{} at intensity {intensity}:",
+                            id.name(),
+                            if is_wrapped { " (wrapped)" } else { "" }
+                        );
+                        println!("  hop-level face:");
+                        println!("{hop_stats}");
+                        println!("  round face:");
+                        println!("{round_report}");
+                    }
                     cells.push(SweepCell {
                         topology: (*tname).into(),
                         n: g.node_count(),
@@ -315,10 +318,66 @@ fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("schemes") => {
-            for s in SCHEMES {
-                println!("{s}");
+            for id in SchemeId::ALL {
+                println!("{}", id.name());
             }
             Ok(())
+        }
+        Some("profile") => {
+            let name = args.get(1).ok_or("missing scheme")?.clone();
+            let (flags, positional) = parse_flags(&args[2..], &["n", "seed"])?;
+            if !positional.is_empty() {
+                return Err(format!("unexpected argument '{}'", positional[0]));
+            }
+            let mut n = 128usize;
+            let mut seed = 1u64;
+            for (flag, value) in flags {
+                match flag.as_str() {
+                    "n" => n = value.parse().map_err(|_| "invalid --n")?,
+                    "seed" => seed = value.parse().map_err(|_| "invalid --seed")?,
+                    _ => unreachable!("parse_flags filters"),
+                }
+            }
+            let report = profile::run_profile(&name, n, seed)?;
+            print!("{}", report.text);
+            Ok(())
+        }
+        Some("bench-gate") => {
+            let mut record = false;
+            let mut baseline = gate::DEFAULT_BASELINE.to_string();
+            let mut bench = Some(gate::DEFAULT_BENCH.to_string());
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--record" => record = true,
+                    "--baseline" => {
+                        baseline = it.next().ok_or("--baseline needs a path")?.clone();
+                    }
+                    "--bench" => {
+                        let p = it.next().ok_or("--bench needs a path (or 'none')")?;
+                        bench = (p != "none").then(|| p.clone());
+                    }
+                    other => return Err(format!("unknown argument '{other}'")),
+                }
+            }
+            if record {
+                gate::record(&gate::GateConfig::default(), &baseline)?;
+                println!("wrote {baseline}");
+                return Ok(());
+            }
+            let report = gate::check(&baseline, bench.as_deref())?;
+            for line in &report.lines {
+                println!("{line}");
+            }
+            if report.pass() {
+                println!("bench-gate: PASS");
+                Ok(())
+            } else {
+                for f in &report.failures {
+                    eprintln!("regression: {f}");
+                }
+                Err(format!("bench-gate: FAIL ({} regressions)", report.failures.len()))
+            }
         }
         Some("certify") => {
             let n: usize = parse(args.get(1), "n")?;
@@ -451,8 +510,12 @@ fn run() -> Result<(), String> {
             }
         }
         Some("resilience") => {
-            let out = args.get(1).map_or("results/RESILIENCE.json", String::as_str);
-            let (json, violations) = resilience_sweep(|line| println!("{line}"))?;
+            let verbose = args.iter().any(|a| a == "--verbose");
+            let out = args[1..]
+                .iter()
+                .find(|a| !a.starts_with("--"))
+                .map_or("results/RESILIENCE.json", String::as_str);
+            let (json, violations) = resilience_sweep(verbose, |line| println!("{line}"))?;
             if let Some(dir) = std::path::Path::new(out).parent() {
                 if !dir.as_os_str().is_empty() {
                     std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
@@ -478,13 +541,21 @@ fn run() -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
-    match run() {
+    let cmd = std::env::args().nth(1).unwrap_or_default();
+    let code = match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
+            // One error shape for every subcommand: `ort <cmd>: error: …`
+            // on stderr, non-zero exit. An empty message means usage was
+            // already printed.
             if !e.is_empty() {
-                eprintln!("error: {e}");
+                eprintln!("ort {cmd}: error: {e}");
             }
             ExitCode::FAILURE
         }
-    }
+    };
+    // Telemetry sinks flush on every exit path, so a failing run still
+    // ships its spans and counters (summary on stderr, files otherwise).
+    optimal_routing_tables::telemetry::flush();
+    code
 }

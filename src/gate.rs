@@ -1,0 +1,526 @@
+//! `ort bench-gate` — the perf-regression and bit-drift gate.
+//!
+//! The gate re-measures every registry scheme on the baseline's seeded
+//! `G(n, 1/2)` graphs and compares against two checked-in documents:
+//!
+//! * `results/TELEMETRY_BASELINE.json` — per-`(scheme, n)` bit
+//!   breakdowns ([`BitBreakdown`]: routing / port-permutation / label
+//!   bits) and median build wall-clock. **Bit comparisons are exact** —
+//!   table sizes are deterministic functions of the graph, so any drift
+//!   is an encoder change, never noise. Timing comparisons are
+//!   *normalized*: each scheme's fresh/baseline ratio is compared to the
+//!   run-wide median ratio, so a uniformly slower or faster machine
+//!   cancels out and only a *relative* regression beyond the baseline's
+//!   `tolerance` (default 25%) fails the gate. Sub-millisecond baselines
+//!   are skipped as noise.
+//! * `results/BENCH_apsp.json` — the APSP engine snapshot. The gate
+//!   re-times the default engine against the queue-serial baseline on
+//!   the same graph and fails if the normalized default-engine time
+//!   (default ms / queue ms, machine speed cancels) regressed by more
+//!   than the tolerance.
+//!
+//! `record` writes a fresh baseline; `check` compares and reports.
+
+use std::time::Instant;
+
+use ort_conformance::json::Json;
+use ort_conformance::registry::SchemeId;
+use ort_graphs::generators;
+use ort_graphs::paths::{Apsp, ApspEngine};
+use ort_routing::accounting::BitBreakdown;
+
+/// Default baseline path, checked in next to the other result documents.
+pub const DEFAULT_BASELINE: &str = "results/TELEMETRY_BASELINE.json";
+/// Default APSP snapshot path (written by `ort-bench`'s `apsp_snapshot`).
+pub const DEFAULT_BENCH: &str = "results/BENCH_apsp.json";
+
+/// Measurement plan: sizes, graph seed, timing repetitions, and the
+/// relative timing tolerance stored into (and read back from) the
+/// baseline document.
+#[derive(Debug, Clone)]
+pub struct GateConfig {
+    /// Graph sizes to measure (`G(n, 1/2)` each).
+    pub sizes: Vec<usize>,
+    /// Generator seed shared by all sizes.
+    pub seed: u64,
+    /// Build repetitions per scheme; the median is recorded.
+    pub reps: usize,
+    /// Allowed relative timing regression (0.25 = 25%).
+    pub tolerance: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig { sizes: vec![64, 128, 256], seed: 1, reps: 5, tolerance: 0.25 }
+    }
+}
+
+/// One `(scheme, n)` measurement: the exact bit decomposition and the
+/// median build time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Registry name of the scheme.
+    pub scheme: &'static str,
+    /// Graph size.
+    pub n: usize,
+    /// Routing-function bits (excluding the port permutation).
+    pub routing_bits: usize,
+    /// Port-permutation (Lehmer) bits.
+    pub port_permutation_bits: usize,
+    /// Charged label bits (model γ only).
+    pub label_bits: usize,
+    /// Total charged bits — always the sum of the three shares.
+    pub total_bits: usize,
+    /// Largest per-node total.
+    pub max_node_bits: usize,
+    /// Median wall-clock of `reps` builds, in milliseconds.
+    pub build_ms_median: f64,
+    /// Fastest of the `reps` builds, in milliseconds. Not stored in the
+    /// baseline document; the comparison uses the fresh *floor* against
+    /// the baseline *median*, so a transient busy phase during the fresh
+    /// run cannot fail the gate, while a real slowdown (which moves the
+    /// floor too) still does.
+    pub build_ms_min: f64,
+}
+
+/// The gate's verdict: informational lines plus hard failures.
+#[derive(Debug, Default)]
+pub struct GateReport {
+    /// Progress/summary lines (always printed).
+    pub lines: Vec<String>,
+    /// Failures; empty means the gate passes.
+    pub failures: Vec<String>,
+}
+
+impl GateReport {
+    /// Whether the gate passed.
+    #[must_use]
+    pub fn pass(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+/// Builds and times every registry scheme per the config.
+///
+/// # Errors
+///
+/// Returns a message if any scheme refuses one of the baseline graphs —
+/// the gate's graphs are chosen so every scheme accepts them, so a
+/// refusal is itself a regression.
+pub fn measure(cfg: &GateConfig) -> Result<Vec<Measurement>, String> {
+    let _span = ort_telemetry::span("gate.measure");
+    let mut out = Vec::new();
+    for &n in &cfg.sizes {
+        let g = generators::gnp_half(n, cfg.seed);
+        for id in SchemeId::ALL {
+            let mut times = Vec::with_capacity(cfg.reps);
+            let mut built = None;
+            for _ in 0..cfg.reps.max(1) {
+                let t = Instant::now();
+                let scheme = id.build(&g).map_err(|e| {
+                    format!("{} refused G({n}, 1/2) seed {}: {e}", id.name(), cfg.seed)
+                })?;
+                times.push(t.elapsed().as_secs_f64() * 1e3);
+                built = Some(scheme);
+            }
+            let floor = times.iter().copied().fold(f64::INFINITY, f64::min);
+            let scheme = built.expect("reps >= 1");
+            let b = BitBreakdown::of(scheme.as_ref());
+            out.push(Measurement {
+                scheme: id.name(),
+                n,
+                routing_bits: b.routing_bits(),
+                port_permutation_bits: b.port_permutation_bits(),
+                label_bits: b.label_bits(),
+                total_bits: b.total(),
+                max_node_bits: b.max_node_bits(),
+                build_ms_median: median(times),
+                build_ms_min: floor,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Renders measurements as the baseline document.
+#[must_use]
+pub fn to_json(cfg: &GateConfig, measurements: &[Measurement]) -> Json {
+    Json::obj(vec![
+        ("suite", Json::Str("telemetry-baseline".into())),
+        ("graph", Json::Str("gnp_half(n, seed)".into())),
+        ("unit", Json::Str("bits exact; ms median wall clock".into())),
+        ("seed", Json::Int(cfg.seed as i64)),
+        ("reps", Json::Int(cfg.reps as i64)),
+        ("tolerance", Json::Num(cfg.tolerance)),
+        ("sizes", Json::Arr(cfg.sizes.iter().map(|&n| Json::Int(n as i64)).collect())),
+        (
+            "entries",
+            Json::Arr(
+                measurements
+                    .iter()
+                    .map(|m| {
+                        Json::obj(vec![
+                            ("scheme", Json::Str(m.scheme.into())),
+                            ("n", Json::Int(m.n as i64)),
+                            (
+                                "bits",
+                                Json::obj(vec![
+                                    ("routing", Json::Int(m.routing_bits as i64)),
+                                    (
+                                        "port_permutation",
+                                        Json::Int(m.port_permutation_bits as i64),
+                                    ),
+                                    ("label", Json::Int(m.label_bits as i64)),
+                                    ("total", Json::Int(m.total_bits as i64)),
+                                    ("max_node", Json::Int(m.max_node_bits as i64)),
+                                ]),
+                            ),
+                            ("build_ms_median", Json::Num(m.build_ms_median)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Measures per the config and writes the baseline to `path`.
+///
+/// # Errors
+///
+/// Returns a message if measurement or the write fails.
+pub fn record(cfg: &GateConfig, path: &str) -> Result<(), String> {
+    let measurements = measure(cfg)?;
+    let json = to_json(cfg, &measurements).pretty();
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        }
+    }
+    std::fs::write(path, json).map_err(|e| e.to_string())
+}
+
+fn field_usize(v: &Json, key: &str, ctx: &str) -> Result<usize, String> {
+    v.get(key)
+        .and_then(Json::as_i64)
+        .and_then(|i| usize::try_from(i).ok())
+        .ok_or_else(|| format!("baseline: {ctx}: missing or invalid '{key}'"))
+}
+
+/// Parses a baseline document back into its config and measurements.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed field.
+pub fn parse_baseline(doc: &Json) -> Result<(GateConfig, Vec<Measurement>), String> {
+    let seed = doc
+        .get("seed")
+        .and_then(Json::as_i64)
+        .ok_or("baseline: missing 'seed'")? as u64;
+    let reps = field_usize(doc, "reps", "header")?;
+    let tolerance =
+        doc.get("tolerance").and_then(Json::as_f64).ok_or("baseline: missing 'tolerance'")?;
+    let sizes = doc
+        .get("sizes")
+        .and_then(Json::as_arr)
+        .ok_or("baseline: missing 'sizes'")?
+        .iter()
+        .map(|v| v.as_i64().and_then(|i| usize::try_from(i).ok()))
+        .collect::<Option<Vec<usize>>>()
+        .ok_or("baseline: invalid 'sizes'")?;
+    let entries = doc.get("entries").and_then(Json::as_arr).ok_or("baseline: missing 'entries'")?;
+    let mut measurements = Vec::with_capacity(entries.len());
+    for e in entries {
+        let name = e.get("scheme").and_then(Json::as_str).ok_or("baseline: entry missing 'scheme'")?;
+        let id = SchemeId::from_name(name)
+            .ok_or_else(|| format!("baseline: unknown scheme '{name}'"))?;
+        let n = field_usize(e, "n", name)?;
+        let bits = e.get("bits").ok_or_else(|| format!("baseline: {name}: missing 'bits'"))?;
+        measurements.push(Measurement {
+            scheme: id.name(),
+            n,
+            routing_bits: field_usize(bits, "routing", name)?,
+            port_permutation_bits: field_usize(bits, "port_permutation", name)?,
+            label_bits: field_usize(bits, "label", name)?,
+            total_bits: field_usize(bits, "total", name)?,
+            max_node_bits: field_usize(bits, "max_node", name)?,
+            build_ms_median: e
+                .get("build_ms_median")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("baseline: {name}: missing 'build_ms_median'"))?,
+            build_ms_min: f64::NAN,
+        });
+    }
+    Ok((GateConfig { sizes, seed, reps, tolerance }, measurements))
+}
+
+/// Compares a fresh measurement against a parsed baseline. Pure — no I/O,
+/// no clocks beyond what `fresh` already contains — so tests can feed it
+/// synthetic values.
+#[must_use]
+pub fn compare(
+    baseline: &[Measurement],
+    fresh: &[Measurement],
+    tolerance: f64,
+) -> GateReport {
+    let mut report = GateReport::default();
+    let mut ratios = Vec::new();
+    for base in baseline {
+        let Some(now) = fresh.iter().find(|m| m.scheme == base.scheme && m.n == base.n) else {
+            report
+                .failures
+                .push(format!("{} n={}: present in baseline, not measured", base.scheme, base.n));
+            continue;
+        };
+        for (what, b, f) in [
+            ("routing bits", base.routing_bits, now.routing_bits),
+            ("port-permutation bits", base.port_permutation_bits, now.port_permutation_bits),
+            ("label bits", base.label_bits, now.label_bits),
+            ("total bits", base.total_bits, now.total_bits),
+            ("max node bits", base.max_node_bits, now.max_node_bits),
+        ] {
+            if b != f {
+                report.failures.push(format!(
+                    "{} n={}: {what} drifted: baseline {b}, fresh {f}",
+                    base.scheme, base.n
+                ));
+            }
+        }
+        if base.build_ms_median >= 1.0 {
+            ratios.push((base, now, now.build_ms_min / base.build_ms_median));
+        }
+    }
+    for now in fresh {
+        if !baseline.iter().any(|m| m.scheme == now.scheme && m.n == now.n) {
+            report.failures.push(format!(
+                "{} n={}: measured but absent from baseline — re-record it",
+                now.scheme, now.n
+            ));
+        }
+    }
+
+    // Normalize machine speed out: a uniformly slower host moves every
+    // ratio together, so only ratios above the run-wide median by more
+    // than the tolerance indicate a per-scheme regression.
+    if ratios.is_empty() {
+        report.lines.push("timing: no baseline entry reaches 1 ms; timing gate skipped".into());
+    } else {
+        let med = median(ratios.iter().map(|&(_, _, r)| r).collect());
+        report.lines.push(format!(
+            "timing: {} comparable entries, run-wide median ratio {med:.2}",
+            ratios.len()
+        ));
+        for (base, now, r) in &ratios {
+            if *r > med * (1.0 + tolerance) {
+                report.failures.push(format!(
+                    "{} n={}: build regressed {:.0}% beyond the run median \
+                     (baseline median {:.3} ms, fresh floor {:.3} ms, tolerance {:.0}%)",
+                    base.scheme,
+                    base.n,
+                    (r / med - 1.0) * 100.0,
+                    base.build_ms_median,
+                    now.build_ms_min,
+                    tolerance * 100.0
+                ));
+            }
+        }
+    }
+    report
+}
+
+/// Best-of-`reps` wall-clock milliseconds (after one warmup call).
+fn best_ms<F: FnMut()>(mut f: F, reps: usize) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Checks the fresh bitset-vs-queue serial APSP ratio against the
+/// checked-in snapshot at `n = 256`. Both engines run single-threaded,
+/// so both host speed *and* host core count cancel in the quotient —
+/// only a change to the engines themselves can move it.
+fn check_apsp_snapshot(doc: &Json, tolerance: f64, report: &mut GateReport) {
+    // n = 512 keeps both measurements in the milliseconds, where a
+    // best-of-7 minimum is stable; at 256 the bitset engine is so fast
+    // (~0.3 ms) that scheduler jitter alone can breach the tolerance.
+    const N: usize = 512;
+    let ms_of = |engine: &str| -> Option<f64> {
+        doc.get("results")?.as_arr()?.iter().find_map(|r| {
+            (r.get("engine")?.as_str()? == engine
+                && usize::try_from(r.get("n")?.as_i64()?) == Ok(N))
+            .then(|| r.get("ms").and_then(Json::as_f64))
+            .flatten()
+        })
+    };
+    let (Some(base_queue), Some(base_bitset)) = (ms_of("queue_serial"), ms_of("bitset_serial"))
+    else {
+        report
+            .failures
+            .push(format!("apsp snapshot: no n={N} queue_serial/bitset_serial entries"));
+        return;
+    };
+    let _span = ort_telemetry::span("gate.apsp");
+    let g = generators::gnp_half(N, 1);
+    // Interleave the engines so each pair shares one load phase of the
+    // host, then take the *minimum ratio* across pairs: common-mode noise
+    // (a busy neighbour slowing both engines) cancels inside a pair, and
+    // the min picks the calmest pair. Measuring each engine in its own
+    // window instead lets a noise phase inflate only one side.
+    let mut fresh_norm = f64::INFINITY;
+    let mut fresh_queue = f64::INFINITY;
+    let mut fresh_bitset = f64::INFINITY;
+    drop(std::hint::black_box(Apsp::compute_serial_with_engine(&g, ApspEngine::Queue)));
+    for _ in 0..5 {
+        let q = best_ms(
+            || drop(std::hint::black_box(Apsp::compute_serial_with_engine(&g, ApspEngine::Queue))),
+            1,
+        );
+        let b = best_ms(
+            || drop(std::hint::black_box(Apsp::compute_serial_with_engine(&g, ApspEngine::Bitset))),
+            10,
+        );
+        fresh_queue = fresh_queue.min(q);
+        fresh_bitset = fresh_bitset.min(b);
+        fresh_norm = fresh_norm.min(b / q);
+    }
+    let base_norm = base_bitset / base_queue;
+    report.lines.push(format!(
+        "apsp n={N}: bitset/queue serial ratio baseline {base_norm:.4}, fresh {fresh_norm:.4} \
+         (best queue {fresh_queue:.3} ms, best bitset {fresh_bitset:.3} ms)"
+    ));
+    if fresh_norm > base_norm * (1.0 + tolerance) {
+        report.failures.push(format!(
+            "apsp n={N}: bitset engine regressed {:.0}% vs queue baseline (tolerance {:.0}%)",
+            (fresh_norm / base_norm - 1.0) * 100.0,
+            tolerance * 100.0
+        ));
+    }
+}
+
+/// The full gate: loads the baseline (and, when given, the APSP
+/// snapshot), re-measures, and compares.
+///
+/// # Errors
+///
+/// Returns a message if a document cannot be read or parsed, or a
+/// measurement fails outright; comparison failures are reported in the
+/// returned [`GateReport`] instead.
+pub fn check(baseline_path: &str, bench_path: Option<&str>) -> Result<GateReport, String> {
+    let _span = ort_telemetry::span("gate.check");
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read {baseline_path}: {e} (run `ort bench-gate --record`)"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{baseline_path}: {e}"))?;
+    let (cfg, baseline) = parse_baseline(&doc)?;
+    let fresh = measure(&cfg)?;
+    let mut report = compare(&baseline, &fresh, cfg.tolerance);
+    report.lines.insert(
+        0,
+        format!(
+            "bench-gate: {} entries at sizes {:?}, seed {}, tolerance {:.0}%",
+            baseline.len(),
+            cfg.sizes,
+            cfg.seed,
+            cfg.tolerance * 100.0
+        ),
+    );
+    if let Some(path) = bench_path {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let bench = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        check_apsp_snapshot(&bench, cfg.tolerance, &mut report);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meas(scheme: &'static str, n: usize, total: usize, ms: f64) -> Measurement {
+        Measurement {
+            scheme,
+            n,
+            routing_bits: total,
+            port_permutation_bits: 0,
+            label_bits: 0,
+            total_bits: total,
+            max_node_bits: total / n.max(1),
+            build_ms_median: ms,
+            build_ms_min: ms,
+        }
+    }
+
+    #[test]
+    fn compare_passes_on_identical_measurements() {
+        let base = vec![meas("theorem1", 64, 1000, 2.0), meas("theorem2", 64, 800, 4.0)];
+        let report = compare(&base, &base.clone(), 0.25);
+        assert!(report.pass(), "failures: {:?}", report.failures);
+    }
+
+    #[test]
+    fn compare_fails_on_any_bit_drift() {
+        let base = vec![meas("theorem1", 64, 1000, 2.0)];
+        let mut fresh = base.clone();
+        fresh[0].total_bits += 1;
+        let report = compare(&base, &fresh, 0.25);
+        assert!(!report.pass());
+        assert!(report.failures.iter().any(|f| f.contains("total bits drifted")));
+    }
+
+    #[test]
+    fn compare_normalizes_uniform_slowdowns_but_catches_relative_ones() {
+        let base = vec![
+            meas("theorem1", 64, 1000, 2.0),
+            meas("theorem2", 64, 800, 4.0),
+            meas("theorem3", 64, 600, 3.0),
+        ];
+        // Uniformly 3x slower machine: all ratios move together — pass.
+        let mut uniform = base.clone();
+        for m in &mut uniform {
+            m.build_ms_median *= 3.0;
+            m.build_ms_min *= 3.0;
+        }
+        assert!(compare(&base, &uniform, 0.25).pass());
+        // One scheme alone regresses 2x — fail.
+        let mut relative = base.clone();
+        relative[2].build_ms_median *= 2.0;
+        relative[2].build_ms_min *= 2.0;
+        let report = compare(&base, &relative, 0.25);
+        assert!(report.failures.iter().any(|f| f.contains("theorem3")));
+    }
+
+    #[test]
+    fn compare_flags_missing_and_extra_entries() {
+        let base = vec![meas("theorem1", 64, 1000, 2.0)];
+        let fresh = vec![meas("theorem2", 64, 800, 2.0)];
+        let report = compare(&base, &fresh, 0.25);
+        assert_eq!(report.failures.len(), 2);
+    }
+
+    #[test]
+    fn baseline_document_round_trips() {
+        let cfg = GateConfig { sizes: vec![16], seed: 3, reps: 2, tolerance: 0.5 };
+        let ms = vec![meas("theorem1", 16, 512, 1.25)];
+        let doc = to_json(&cfg, &ms);
+        let (cfg2, ms2) = parse_baseline(&Json::parse(&doc.pretty()).unwrap()).unwrap();
+        assert_eq!(cfg2.sizes, cfg.sizes);
+        assert_eq!(cfg2.seed, cfg.seed);
+        assert_eq!(cfg2.reps, cfg.reps);
+        assert!((cfg2.tolerance - cfg.tolerance).abs() < 1e-12);
+        assert_eq!(ms2.len(), 1);
+        assert_eq!(ms2[0].scheme, ms[0].scheme);
+        assert_eq!(ms2[0].total_bits, ms[0].total_bits);
+        assert!((ms2[0].build_ms_median - ms[0].build_ms_median).abs() < 1e-12);
+        assert!(ms2[0].build_ms_min.is_nan(), "the floor is not persisted");
+    }
+}

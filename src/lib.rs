@@ -20,6 +20,13 @@
 //!   fuzzer, and machine-checked Table 1 bound suite behind
 //!   `ort conformance` and `results/CONFORMANCE.json`.
 //!
+//! Two CLI-facing modules live in this crate directly:
+//!
+//! * [`profile`] — the instrumented single-scheme run behind
+//!   `ort profile` (span tree, counters, per-node bit accounting).
+//! * [`gate`] — the bit-drift and perf-regression gate behind
+//!   `ort bench-gate` and `results/TELEMETRY_BASELINE.json`.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -48,9 +55,13 @@
 
 #![forbid(unsafe_code)]
 
+pub mod gate;
+pub mod profile;
+
 pub use ort_bitio as bitio;
 pub use ort_conformance as conformance;
 pub use ort_graphs as graphs;
 pub use ort_kolmogorov as kolmogorov;
 pub use ort_routing as routing;
 pub use ort_simnet as simnet;
+pub use ort_telemetry as telemetry;

@@ -1,0 +1,144 @@
+//! `ort profile` — one fully instrumented run of a single scheme.
+//!
+//! The run is the CLI's observability showcase: it resets the telemetry
+//! registry, executes graph generation → scheme construction → delivery
+//! verification → bit accounting under nested spans, and renders
+//!
+//! * the aggregated **span tree** (every construction phase with call
+//!   counts and wall-clock nanoseconds),
+//! * the **counter table** (frontier expansions, oracle reuse, …),
+//! * the **per-node bit breakdown** — routing-function bits vs
+//!   port-permutation bits vs label bits, which reconcile *exactly* with
+//!   [`total_size_bits`]; any mismatch is an encoder bug and the profile
+//!   refuses to print.
+//!
+//! [`total_size_bits`]: ort_routing::scheme::RoutingScheme::total_size_bits
+//!
+//! The same rendered report is returned as a string so tests can assert
+//! on its shape without capturing stdout.
+
+use ort_conformance::registry::SchemeId;
+use ort_graphs::generators;
+use ort_routing::accounting::BitBreakdown;
+use ort_routing::verify;
+use ort_telemetry::FieldValue;
+
+/// The rendered profile plus the headline numbers tests assert on.
+#[derive(Debug)]
+pub struct ProfileReport {
+    /// The human-readable report (span tree, counters, bit table).
+    pub text: String,
+    /// Distinct span paths recorded during the run.
+    pub distinct_phases: usize,
+    /// The scheme's total charged bits — equals the bit table's total row.
+    pub bits_total: usize,
+}
+
+/// Runs `scheme_name` on `G(n, 1/2)` with `seed` under full
+/// instrumentation and renders the profile.
+///
+/// # Errors
+///
+/// Returns a message if the scheme name is unknown, the scheme refuses
+/// the graph, verification fails to run, or the bit breakdown does not
+/// reconcile with the scheme's charged total.
+pub fn run_profile(scheme_name: &str, n: usize, seed: u64) -> Result<ProfileReport, String> {
+    let id = SchemeId::from_name(scheme_name)
+        .ok_or_else(|| format!("unknown scheme '{scheme_name}'; try `ort schemes`"))?;
+
+    ort_telemetry::reset();
+    let (scheme, verify_report, breakdown) = {
+        let _profile = ort_telemetry::span_with(
+            "profile",
+            &[
+                ("scheme", FieldValue::Str(id.name())),
+                ("n", FieldValue::Int(n as u64)),
+                ("seed", FieldValue::Int(seed)),
+            ],
+        );
+        let g = {
+            let _s = ort_telemetry::span("profile.graph");
+            generators::gnp_half(n, seed)
+        };
+        let scheme = {
+            let _s = ort_telemetry::span("profile.build");
+            id.build(&g)
+                .map_err(|e| format!("{scheme_name} refused G({n}, 1/2) seed {seed}: {e}"))?
+        };
+        let verify_report = {
+            let _s = ort_telemetry::span("profile.verify");
+            verify::verify_scheme_sampled(&g, scheme.as_ref(), if n >= 256 { 7 } else { 1 })
+                .map_err(|e| e.to_string())?
+        };
+        let breakdown = {
+            let _s = ort_telemetry::span("profile.accounting");
+            BitBreakdown::of(scheme.as_ref())
+        };
+        (scheme, verify_report, breakdown)
+    };
+    let snap = ort_telemetry::snapshot();
+
+    if breakdown.total() != scheme.total_size_bits() {
+        return Err(format!(
+            "bit breakdown does not reconcile: {} != total_size_bits() {}",
+            breakdown.total(),
+            scheme.total_size_bits()
+        ));
+    }
+
+    let mut text = String::new();
+    text.push_str(&format!(
+        "== ort profile: {} on G({n}, 1/2) seed {seed} [model {}] ==\n\n",
+        id.name(),
+        scheme.model()
+    ));
+    if ort_telemetry::enabled() {
+        text.push_str(&snap.summary_tree());
+    } else {
+        text.push_str(
+            "telemetry is compiled out (built without the `telemetry` feature); \
+             span tree and counters are empty\n",
+        );
+    }
+
+    text.push_str("\nbit accounting (per node, bits):\n");
+    text.push_str(&format!(
+        "  {:>5} {:>12} {:>10} {:>8} {:>12}\n",
+        "node", "routing", "port-perm", "label", "total"
+    ));
+    for (u, b) in breakdown.nodes.iter().enumerate() {
+        text.push_str(&format!(
+            "  {:>5} {:>12} {:>10} {:>8} {:>12}\n",
+            u,
+            b.routing,
+            b.port_permutation,
+            b.label,
+            b.total()
+        ));
+    }
+    text.push_str(&format!(
+        "  {:>5} {:>12} {:>10} {:>8} {:>12}\n",
+        "total",
+        breakdown.routing_bits(),
+        breakdown.port_permutation_bits(),
+        breakdown.label_bits(),
+        breakdown.total()
+    ));
+    text.push_str(&format!(
+        "  table size: {} bits (breakdown reconciles exactly); max node: {} bits\n",
+        scheme.total_size_bits(),
+        breakdown.max_node_bits()
+    ));
+
+    text.push_str(&format!(
+        "\nverification: {} pairs, {} failures, max stretch {:?}\n",
+        verify_report.delivered,
+        verify_report.failures.len(),
+        verify_report.max_stretch()
+    ));
+
+    let distinct_phases = snap.span_paths().len();
+    text.push_str(&format!("distinct phases recorded: {distinct_phases}\n"));
+
+    Ok(ProfileReport { text, distinct_phases, bits_total: breakdown.total() })
+}

@@ -6,6 +6,7 @@
 //! cross-checked on every graph — adding a scheme without registering it
 //! here fails the `registry_covers_every_snapshot_kind` test below.
 
+use ort_graphs::paths::DistanceOracle;
 use ort_graphs::ports::PortAssignment;
 use ort_graphs::Graph;
 use ort_routing::scheme::{RoutingScheme, SchemeError};
@@ -128,6 +129,43 @@ impl SchemeId {
         })
     }
 
+    /// As [`SchemeId::build`], reading all-pairs distances from a shared
+    /// [`DistanceOracle`] where the construction supports it (full-table,
+    /// multi-interval, full-information, landmark — the APSP-hungry
+    /// builds); the rest delegate to [`SchemeId::build`] unchanged. One
+    /// APSP can then serve construction, verification and tracing.
+    ///
+    /// # Errors
+    ///
+    /// Returns the construction's [`SchemeError`].
+    pub fn build_with_oracle(
+        self,
+        g: &Graph,
+        oracle: &DistanceOracle,
+    ) -> Result<Box<dyn RoutingScheme>, SchemeError> {
+        Ok(match self {
+            SchemeId::FullTable => Box::new(FullTableScheme::build_with_oracle(g, oracle)?),
+            SchemeId::FullInformation => {
+                Box::new(FullInformationScheme::build_with_oracle(g, oracle)?)
+            }
+            SchemeId::MultiInterval => {
+                Box::new(MultiIntervalScheme::build_with_oracle(g, oracle)?)
+            }
+            SchemeId::Landmark => {
+                // Same default landmark count as `LandmarkScheme::build`.
+                let n = g.node_count();
+                let count = ((n as f64) * (n.max(2) as f64).log2()).sqrt().ceil() as usize;
+                Box::new(LandmarkScheme::build_with_oracle_and_landmark_count(
+                    g,
+                    oracle,
+                    LANDMARK_SEED,
+                    count.clamp(1, n),
+                )?)
+            }
+            other => other.build(g)?,
+        })
+    }
+
     /// The scheme's contractual stretch cap.
     #[must_use]
     pub fn stretch_cap(self) -> StretchCap {
@@ -229,6 +267,19 @@ mod tests {
         for id in SchemeId::ALL {
             let built = id.build(&g);
             assert!(built.is_ok(), "{} refused G(32,1/2) seed 3: {:?}", id.name(), built.err());
+        }
+    }
+
+    #[test]
+    fn build_with_oracle_is_bit_identical_to_build() {
+        let g = generators::gnp_half(24, 3);
+        let oracle = ort_graphs::paths::Apsp::compute(&g).into_oracle();
+        for id in SchemeId::ALL {
+            let a = id.build(&g).unwrap();
+            let b = id.build_with_oracle(&g, &oracle).unwrap();
+            for u in 0..24 {
+                assert_eq!(a.node_bits(u), b.node_bits(u), "{} node {u}", id.name());
+            }
         }
     }
 

@@ -32,6 +32,8 @@
 //!   [`schemes::interval`] and [`schemes::landmark`] (related-work
 //!   baselines).
 //! * [`verify`] — exhaustive delivery/stretch verification of any scheme.
+//! * [`explain`] — hop-by-hop stretch attribution of captured route
+//!   traces against a distance oracle.
 //! * [`lower_bounds`] — the executable lower-bound arguments of Theorems
 //!   6–9 (Theorem 10's codec lives in `ort-kolmogorov`).
 
@@ -40,6 +42,7 @@
 
 pub mod accounting;
 pub mod bounds;
+pub mod explain;
 pub mod lower_bounds;
 pub mod model;
 pub mod snapshot;

@@ -43,7 +43,10 @@ use crate::scheme::{
 /// Number of high `MessageState::counter` bits reserved for the detour
 /// budget.
 pub const DETOUR_BITS: u32 = 16;
-const DETOUR_SHIFT: u32 = 64 - DETOUR_BITS;
+/// Right-shift extracting the detour count from a message counter —
+/// `counter >> DETOUR_SHIFT` is the running budget spend (trace renderers
+/// use this to label detour hops).
+pub const DETOUR_SHIFT: u32 = 64 - DETOUR_BITS;
 const INNER_MASK: u64 = (1 << DETOUR_SHIFT) - 1;
 
 /// A wrapper adding bounded deterministic local detours to any scheme.

@@ -11,6 +11,7 @@ use std::fmt;
 
 use ort_graphs::paths::{Apsp, DistanceOracle};
 use ort_graphs::{Graph, NodeId};
+use ort_telemetry::trace::{HopKind, WalkTracer};
 
 use crate::scheme::{MessageState, RouteDecision, RouteError, RoutingScheme, SchemeError};
 
@@ -66,6 +67,13 @@ impl Error for RouteFailure {}
 /// Routes one message from `s` to `t` through `scheme`, returning the node
 /// path `[s, …, t]`.
 ///
+/// When a [`ort_telemetry::trace::TraceRecorder`] is installed that wants
+/// the `(s, t)` pair, every routing decision of the walk is recorded as a
+/// [`HopEvent`](ort_telemetry::trace::HopEvent) — the conformance
+/// differential oracle and the fuzzer route through this function, so a
+/// filtered recorder captures their walks too. Recording is append-only
+/// and never alters the walk.
+///
 /// # Errors
 ///
 /// Returns a [`RouteFailure`] describing the first problem encountered.
@@ -75,38 +83,64 @@ pub fn route_pair(
     t: NodeId,
     max_hops: usize,
 ) -> Result<Vec<NodeId>, RouteFailure> {
+    let mut tracer = WalkTracer::begin(s, t, 0);
+    route_pair_traced(scheme, s, t, max_hops, &mut tracer)
+}
+
+/// As [`route_pair`], emitting hop events through a caller-supplied
+/// [`WalkTracer`] (pass one from [`WalkTracer::begin`] to use the global
+/// recorder, or an inert one to trace nothing).
+///
+/// # Errors
+///
+/// As [`route_pair`].
+pub fn route_pair_traced(
+    scheme: &dyn RoutingScheme,
+    s: NodeId,
+    t: NodeId,
+    max_hops: usize,
+    tracer: &mut WalkTracer,
+) -> Result<Vec<NodeId>, RouteFailure> {
     let dest_label = scheme.label_of(t);
     let pa = scheme.port_assignment();
     let mut state = MessageState { source: Some(scheme.label_of(s)), counter: 0 };
     let mut path = vec![s];
     let mut cur = s;
     for _ in 0..=max_hops {
-        let router = scheme
-            .decode_router(cur)
-            .map_err(|e| RouteFailure::RouterError { at: cur, error: scheme_to_route(e) })?;
+        let router = scheme.decode_router(cur).map_err(|e| {
+            tracer.hit(cur, state.counter, HopKind::RouterError);
+            RouteFailure::RouterError { at: cur, error: scheme_to_route(e) }
+        })?;
         let env = scheme.node_env(cur);
-        let decision = router
-            .route(&env, &dest_label, &mut state)
-            .map_err(|error| RouteFailure::RouterError { at: cur, error })?;
+        let decision = router.route(&env, &dest_label, &mut state).map_err(|error| {
+            tracer.hit(cur, state.counter, HopKind::RouterError);
+            RouteFailure::RouterError { at: cur, error }
+        })?;
         let port = match decision {
             RouteDecision::Deliver => {
                 return if cur == t {
+                    tracer.hit(cur, state.counter, HopKind::Deliver);
                     Ok(path)
                 } else {
+                    tracer.hit(cur, state.counter, HopKind::Misdelivered);
                     Err(RouteFailure::Misdelivered { at: cur })
                 };
             }
             RouteDecision::Forward(p) => p,
-            RouteDecision::ForwardAny(ports) => {
-                *ports.first().ok_or(RouteFailure::NoUsablePort { at: cur })?
-            }
+            RouteDecision::ForwardAny(ports) => *ports.first().ok_or_else(|| {
+                tracer.hit(cur, state.counter, HopKind::Dropped { reason: "no usable port" });
+                RouteFailure::NoUsablePort { at: cur }
+            })?,
         };
-        let next = pa
-            .neighbor_at(cur, port)
-            .ok_or(RouteFailure::BadPort { at: cur, port })?;
+        let next = pa.neighbor_at(cur, port).ok_or_else(|| {
+            tracer.hit(cur, state.counter, HopKind::Dropped { reason: "bad port" });
+            RouteFailure::BadPort { at: cur, port }
+        })?;
+        tracer.hit(cur, state.counter, HopKind::Forward { port, next, rank: 0 });
         path.push(next);
         cur = next;
     }
+    tracer.hit(cur, state.counter, HopKind::HopLimit { limit: max_hops as u64 });
     Err(RouteFailure::HopLimit { limit: max_hops })
 }
 
@@ -128,6 +162,11 @@ pub struct VerifyReport {
     pub stretches: Vec<(u32, u32)>,
     /// Total hops across delivered pairs.
     pub total_hops: u64,
+    /// The maximum-stretch delivered pair as `(src, dst, hops, dist)` —
+    /// ties broken toward the first pair in `(src, dst)` order, so the
+    /// field is deterministic under any thread count. Lets callers (e.g.
+    /// `ort trace --worst`) name the worst pair without rescanning.
+    pub worst: Option<(NodeId, NodeId, u32, u32)>,
 }
 
 impl VerifyReport {
@@ -168,6 +207,28 @@ impl VerifyReport {
     #[must_use]
     pub fn is_shortest_path(&self) -> bool {
         self.all_delivered() && self.stretches.iter().all(|&(h, d)| h == d)
+    }
+
+    /// Keeps the worse of two worst-pair candidates. Exact integer
+    /// cross-multiplied ratio comparison; a *strictly* larger ratio is
+    /// required to displace the incumbent, so folding candidates in
+    /// `(src, dst)` order yields the first maximal pair.
+    fn merge_worst(
+        a: Option<(NodeId, NodeId, u32, u32)>,
+        b: Option<(NodeId, NodeId, u32, u32)>,
+    ) -> Option<(NodeId, NodeId, u32, u32)> {
+        match (a, b) {
+            (None, x) | (x, None) => x,
+            (Some(x), Some(y)) => {
+                let (_, _, xh, xd) = x;
+                let (_, _, yh, yd) = y;
+                if u64::from(yh) * u64::from(xd) > u64::from(xh) * u64::from(yd) {
+                    Some(y)
+                } else {
+                    Some(x)
+                }
+            }
+        }
     }
 }
 
@@ -276,6 +337,7 @@ fn verify_with(
             failures: Vec::new(),
             stretches: Vec::new(),
             total_hops: 0,
+            worst: None,
         };
         for t in 0..n {
             if s == t || (s + t) % stride != 0 {
@@ -288,6 +350,9 @@ fn verify_with(
                     p.delivered += 1;
                     p.total_hops += u64::from(hops);
                     p.stretches.push((hops, dist));
+                    if dist > 0 {
+                        p.worst = VerifyReport::merge_worst(p.worst, Some((s, t, hops, dist)));
+                    }
                 }
                 Err(f) => p.failures.push((s, t, f)),
             }
@@ -299,12 +364,14 @@ fn verify_with(
         failures: Vec::new(),
         stretches: Vec::with_capacity(if stride == 1 { n * n } else { 0 }),
         total_hops: 0,
+        worst: None,
     };
     for p in partials {
         report.delivered += p.delivered;
         report.failures.extend(p.failures);
         report.stretches.extend(p.stretches);
         report.total_hops += p.total_hops;
+        report.worst = VerifyReport::merge_worst(report.worst, p.worst);
     }
     ort_telemetry::counter!("verify.pairs").add((report.delivered + report.failures.len()) as u64);
     ort_telemetry::counter!("verify.hops").add(report.total_hops);
@@ -357,6 +424,7 @@ mod tests {
             failures: vec![],
             stretches: vec![(2, 2), (3, 2), (1, 1)],
             total_hops: 6,
+            worst: Some((0, 2, 3, 2)),
         };
         assert_eq!(report.max_stretch(), Some(1.5));
         let avg = report.avg_stretch().unwrap();
@@ -367,8 +435,13 @@ mod tests {
 
     #[test]
     fn empty_report() {
-        let report =
-            VerifyReport { delivered: 0, failures: vec![], stretches: vec![], total_hops: 0 };
+        let report = VerifyReport {
+            delivered: 0,
+            failures: vec![],
+            stretches: vec![],
+            total_hops: 0,
+            worst: None,
+        };
         assert_eq!(report.max_stretch(), None);
         assert_eq!(report.avg_stretch(), None);
         assert!(report.is_shortest_path());
@@ -415,6 +488,21 @@ mod tests {
         // Distance-1 pair needs one hop: budget 1 suffices.
         let path = route_pair(&scheme, 0, 1, 1).unwrap();
         assert_eq!(path, vec![0, 1]);
+    }
+
+    #[test]
+    fn worst_pair_names_the_max_stretch_pair() {
+        use crate::schemes::theorem4::Theorem4Scheme;
+        let g = ort_graphs::generators::gnp_half(24, 5);
+        let scheme = Theorem4Scheme::build(&g).unwrap();
+        let report = verify_scheme(&g, &scheme).unwrap();
+        let (s, t, h, d) = report.worst.expect("delivered pairs exist");
+        // The named pair realizes the measured maximum stretch exactly
+        // (same integers, same division — bit-identical f64).
+        assert_eq!(f64::from(h) / f64::from(d), report.max_stretch().unwrap());
+        // And re-routing it reproduces the hop count.
+        let path = route_pair(&scheme, s, t, default_hop_limit(24)).unwrap();
+        assert_eq!((path.len() - 1) as u32, h);
     }
 
     #[test]

@@ -59,6 +59,21 @@ impl fmt::Display for FaultEvent {
     }
 }
 
+impl fmt::Display for FaultPlan {
+    /// The timed event listing: one `t=<at>  <event>` line per scheduled
+    /// event, in schedule order (used by `ort resilience --verbose` and
+    /// trace diagnostics).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.events.is_empty() {
+            return writeln!(f, "(no scheduled faults)");
+        }
+        for e in &self.events {
+            writeln!(f, "t={:<4} {}", e.at, e.event)?;
+        }
+        Ok(())
+    }
+}
+
 /// A fault event scheduled at a simulator time.
 ///
 /// The time unit is the consuming simulator's clock: message index for
@@ -119,6 +134,37 @@ impl FaultPlan {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
+    }
+
+    /// The scheduled event responsible for a vetoed hop `at → next`: the
+    /// most recent event at or before `time` (the trace's clock value)
+    /// whose effect matches the `fault` the per-hop check reported. This
+    /// is how a failed message's trace is tied back to the *exact* plan
+    /// line that blocked it; `None` means the fault came from state not
+    /// scheduled by this plan (e.g. a manual `FaultState::apply`).
+    #[must_use]
+    pub fn blocking_event(
+        &self,
+        time: u64,
+        at: NodeId,
+        next: NodeId,
+        fault: ort_telemetry::trace::TraceFault,
+    ) -> Option<&TimedFault> {
+        use ort_telemetry::trace::TraceFault;
+        self.events
+            .iter()
+            .take_while(|e| e.at <= time)
+            .filter(|e| match (&fault, &e.event) {
+                (TraceFault::LinkDown, FaultEvent::LinkDown(u, v)) => {
+                    (*u == at && *v == next) || (*u == next && *v == at)
+                }
+                (TraceFault::NodeCrashed(x), FaultEvent::NodeCrash(u)) => u == x,
+                (TraceFault::Partitioned, FaultEvent::Bipartition { side }) => {
+                    side.contains(&at) != side.contains(&next)
+                }
+                _ => false,
+            })
+            .last()
     }
 
     /// A seeded static link-fault load: `⌈intensity · m⌉` distinct edges of
@@ -182,6 +228,16 @@ pub enum HopFault {
     NodeCrashed(NodeId),
     /// The link crosses the active bipartition cut.
     Partitioned,
+}
+
+impl From<HopFault> for ort_telemetry::trace::TraceFault {
+    fn from(f: HopFault) -> Self {
+        match f {
+            HopFault::LinkDown => ort_telemetry::trace::TraceFault::LinkDown,
+            HopFault::NodeCrashed(u) => ort_telemetry::trace::TraceFault::NodeCrashed(u),
+            HopFault::Partitioned => ort_telemetry::trace::TraceFault::Partitioned,
+        }
+    }
 }
 
 /// The error returned when a fault event names a link or node the
@@ -480,6 +536,42 @@ mod tests {
 
     fn state_for(g: &ort_graphs::Graph) -> FaultState {
         FaultState::new(&PortAssignment::sorted(g))
+    }
+
+    #[test]
+    fn plan_display_lists_timed_events() {
+        let mut plan = FaultPlan::new();
+        plan.push(3, FaultEvent::NodeCrash(2));
+        plan.push(0, FaultEvent::LinkDown(0, 1));
+        let listing = plan.to_string();
+        let lines: Vec<&str> = listing.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("t=0"), "schedule order: {listing}");
+        assert!(lines[0].contains("link 0–1 down"), "{listing}");
+        assert!(lines[1].starts_with("t=3"), "{listing}");
+        assert!(lines[1].contains("node 2 crash"), "{listing}");
+        assert_eq!(FaultPlan::new().to_string(), "(no scheduled faults)\n");
+    }
+
+    #[test]
+    fn blocking_event_names_the_exact_plan_line() {
+        use ort_telemetry::trace::TraceFault;
+        let mut plan = FaultPlan::new();
+        plan.push(0, FaultEvent::LinkDown(1, 2));
+        plan.push(5, FaultEvent::NodeCrash(3));
+        // The link fault matches either hop direction…
+        let hit = plan.blocking_event(0, 2, 1, TraceFault::LinkDown).unwrap();
+        assert_eq!(hit.event, FaultEvent::LinkDown(1, 2));
+        // …but not before its scheduled time, and not other edges.
+        assert!(plan.blocking_event(4, 1, 3, TraceFault::NodeCrashed(3)).is_none());
+        let hit = plan.blocking_event(5, 1, 3, TraceFault::NodeCrashed(3)).unwrap();
+        assert_eq!(hit.at, 5);
+        assert!(plan.blocking_event(9, 0, 1, TraceFault::LinkDown).is_none());
+        // A partition veto matches a cut-crossing hop only.
+        let mut pp = FaultPlan::new();
+        pp.push(1, FaultEvent::Bipartition { side: vec![0, 1] });
+        assert!(pp.blocking_event(1, 1, 2, TraceFault::Partitioned).is_some());
+        assert!(pp.blocking_event(1, 0, 1, TraceFault::Partitioned).is_none());
     }
 
     #[test]

@@ -53,6 +53,7 @@ use std::fmt;
 
 use ort_graphs::NodeId;
 use ort_routing::scheme::{MessageState, RouteDecision, RouteError, RoutingScheme};
+use ort_telemetry::trace::{HopKind, WalkTracer};
 
 use crate::faults::{FaultPlan, FaultState, HopFault, InvalidFault};
 
@@ -385,8 +386,11 @@ impl<'a> Network<'a> {
                 .advance_to(plan, self.epoch)
                 .expect("fault plan validated at set_fault_plan time");
         }
+        // The trace clock is the epoch the fault cursor just advanced to —
+        // the value that governs this send's hop checks.
+        let mut tracer = ort_telemetry::trace::WalkTracer::begin(s, t, self.epoch);
         self.epoch += 1;
-        let result = self.route(s, t);
+        let result = self.route(s, t, &mut tracer);
         ort_telemetry::counter!("simnet.sends").incr();
         match &result {
             Ok(d) => {
@@ -431,7 +435,12 @@ impl<'a> Network<'a> {
         }
     }
 
-    fn route(&mut self, s: NodeId, t: NodeId) -> Result<Delivery, SimError> {
+    fn route(
+        &mut self,
+        s: NodeId,
+        t: NodeId,
+        tracer: &mut WalkTracer,
+    ) -> Result<Delivery, SimError> {
         let n = self.scheme.node_count();
         if s >= n {
             return Err(SimError::NodeOutOfRange { node: s });
@@ -440,6 +449,7 @@ impl<'a> Network<'a> {
             return Err(SimError::NodeOutOfRange { node: t });
         }
         if self.faults.is_crashed(s) {
+            tracer.hit(s, 0, HopKind::Dropped { reason: "source node crashed" });
             return Err(SimError::NodeCrashed { node: s });
         }
         let pa = self.scheme.port_assignment();
@@ -449,35 +459,47 @@ impl<'a> Network<'a> {
         let mut cur = s;
         let mut reroutes = 0u64;
         for _ in 0..=self.hop_limit {
-            let router = self
-                .scheme
-                .decode_router(cur)
-                .map_err(|_| SimError::Router {
+            let router = self.scheme.decode_router(cur).map_err(|_| {
+                tracer.hit(cur, state.counter, HopKind::RouterError);
+                SimError::Router {
                     at: cur,
                     error: RouteError::MissingInformation { what: "router undecodable" },
-                })?;
+                }
+            })?;
             let env = self.scheme.node_env(cur);
-            let decision = router
-                .route(&env, &dest_label, &mut state)
-                .map_err(|error| SimError::Router { at: cur, error })?;
+            let decision = router.route(&env, &dest_label, &mut state).map_err(|error| {
+                tracer.hit(cur, state.counter, HopKind::RouterError);
+                SimError::Router { at: cur, error }
+            })?;
             let next = match decision {
                 RouteDecision::Deliver => {
                     return if cur == t {
+                        tracer.hit(cur, state.counter, HopKind::Deliver);
                         self.stats.reroutes += reroutes;
                         ort_telemetry::counter!("simnet.reroutes").add(reroutes);
                         Ok(Delivery { path })
                     } else {
+                        tracer.hit(cur, state.counter, HopKind::Misdelivered);
                         Err(SimError::Misdelivered { at: cur })
                     };
                 }
                 RouteDecision::Forward(p) => {
-                    let next = pa.neighbor_at(cur, p).ok_or(SimError::Router {
-                        at: cur,
-                        error: RouteError::PortOutOfRange { port: p, degree: env.degree },
+                    let next = pa.neighbor_at(cur, p).ok_or_else(|| {
+                        tracer.hit(cur, state.counter, HopKind::Dropped { reason: "bad port" });
+                        SimError::Router {
+                            at: cur,
+                            error: RouteError::PortOutOfRange { port: p, degree: env.degree },
+                        }
                     })?;
                     if let Some(fault) = self.faults.check_hop(cur, next) {
+                        tracer.hit(
+                            cur,
+                            state.counter,
+                            HopKind::Blocked { port: p, next, fault: fault.into() },
+                        );
                         return Err(self.hop_error(cur, next, fault));
                     }
+                    tracer.hit(cur, state.counter, HopKind::Forward { port: p, next, rank: 0 });
                     next
                 }
                 RouteDecision::ForwardAny(ports) => {
@@ -485,19 +507,32 @@ impl<'a> Network<'a> {
                     let mut chosen = None;
                     let mut first_fault = None;
                     for (i, p) in ports.into_iter().enumerate() {
-                        let cand = pa.neighbor_at(cur, p).ok_or(SimError::Router {
-                            at: cur,
-                            error: RouteError::PortOutOfRange { port: p, degree: env.degree },
+                        let cand = pa.neighbor_at(cur, p).ok_or_else(|| {
+                            tracer.hit(cur, state.counter, HopKind::Dropped { reason: "bad port" });
+                            SimError::Router {
+                                at: cur,
+                                error: RouteError::PortOutOfRange { port: p, degree: env.degree },
+                            }
                         })?;
                         match self.faults.check_hop(cur, cand) {
                             None => {
                                 if i > 0 {
                                     reroutes += 1;
                                 }
+                                tracer.hit(
+                                    cur,
+                                    state.counter,
+                                    HopKind::Forward { port: p, next: cand, rank: i as u32 },
+                                );
                                 chosen = Some(cand);
                                 break;
                             }
                             Some(fault) => {
+                                tracer.hit(
+                                    cur,
+                                    state.counter,
+                                    HopKind::Blocked { port: p, next: cand, fault: fault.into() },
+                                );
                                 if first_fault.is_none() {
                                     first_fault = Some((cand, fault));
                                 }
@@ -526,6 +561,7 @@ impl<'a> Network<'a> {
             path.push(next);
             cur = next;
         }
+        tracer.hit(cur, 0, HopKind::HopLimit { limit: self.hop_limit as u64 });
         Err(SimError::HopLimit { limit: self.hop_limit })
     }
 

@@ -80,6 +80,11 @@ pub struct CellMetrics {
     /// Failed pairs whose destination *was* reachable: the scheme's own
     /// degradation.
     pub avoidable_failed: u64,
+    /// The first avoidable-failed pair in `(src, dst)` scan order — the
+    /// exemplar the diagnostics layer re-routes under a trace recorder.
+    /// Never serialized into sweep reports (it is derivable, and keeping
+    /// it out preserves byte-stable result files).
+    pub first_avoidable: Option<(ort_graphs::NodeId, ort_graphs::NodeId)>,
     /// Mean hops/distance over delivered pairs (`None` if nothing was
     /// delivered). Detours push this above the scheme's fault-free
     /// stretch.
@@ -215,6 +220,7 @@ pub fn run_cell_detailed(
     net.set_fault_plan(plan.clone())?;
     let mut unreachable_failed = 0u64;
     let mut avoidable_failed = 0u64;
+    let mut first_avoidable = None;
     let mut stretch_sum = 0.0f64;
     let mut stretch_count = 0u64;
     for (s, row) in reach.iter().enumerate() {
@@ -232,6 +238,9 @@ pub fn run_cell_detailed(
                 Err(_) => {
                     if still_connected {
                         avoidable_failed += 1;
+                        if first_avoidable.is_none() {
+                            first_avoidable = Some((s, t));
+                        }
                     } else {
                         unreachable_failed += 1;
                     }
@@ -255,6 +264,7 @@ pub fn run_cell_detailed(
         reroutes: stats.reroutes,
         unreachable_failed,
         avoidable_failed,
+        first_avoidable,
         mean_stretch: if stretch_count == 0 {
             None
         } else {
@@ -394,6 +404,7 @@ mod tests {
             reroutes: 0,
             unreachable_failed: pairs - delivered - avoidable,
             avoidable_failed: avoidable,
+            first_avoidable: if avoidable > 0 { Some((0, 1)) } else { None },
             mean_stretch: None,
             rounds_to_drain: 0,
             round_delivered: delivered,

@@ -19,6 +19,7 @@ use std::collections::VecDeque;
 
 use ort_graphs::NodeId;
 use ort_routing::scheme::{MessageState, RouteDecision, RoutingScheme};
+use ort_telemetry::trace::{HopKind, WalkTracer};
 
 use crate::faults::{FaultPlan, FaultState, HopFault, InvalidFault};
 use crate::{FailureBreakdown, SimError};
@@ -32,6 +33,7 @@ struct InFlight {
     hops: u32,
     injected_round: u32,
     attempt: u32,
+    tracer: WalkTracer,
 }
 
 /// Outcome of a round-based run.
@@ -221,6 +223,7 @@ impl<'a> RoundSimulator<'a> {
                 hops: 0,
                 injected_round: 0,
                 attempt: 0,
+                tracer: WalkTracer::begin(s, t, 0),
             });
             in_flight += 1;
         }
@@ -259,6 +262,8 @@ impl<'a> RoundSimulator<'a> {
                         msg.hops = 0;
                         msg.state =
                             MessageState { source: Some(self.scheme.label_of(msg.src)), counter: 0 };
+                        // Each re-injection is a child trace of the message.
+                        msg.tracer.retry();
                         queues[msg.src].push_back(msg);
                     } else {
                         rest.push((due, msg));
@@ -269,7 +274,13 @@ impl<'a> RoundSimulator<'a> {
             // A crashed node drops everything it had queued.
             for (u, queue) in queues.iter_mut().enumerate() {
                 if faults.is_crashed(u) && !queue.is_empty() {
-                    for msg in queue.drain(..) {
+                    for mut msg in queue.drain(..) {
+                        msg.tracer.set_time(u64::from(round));
+                        msg.tracer.hit(
+                            u,
+                            msg.state.counter,
+                            HopKind::Dropped { reason: "queued at crashed node" },
+                        );
                         lost.push((msg, SimError::NodeCrashed { node: u }));
                     }
                 }
@@ -280,7 +291,9 @@ impl<'a> RoundSimulator<'a> {
                     continue;
                 }
                 let Ok(router) = self.scheme.decode_router(u) else {
-                    for msg in queue.drain(..) {
+                    for mut msg in queue.drain(..) {
+                        msg.tracer.set_time(u64::from(round));
+                        msg.tracer.hit(u, msg.state.counter, HopKind::RouterError);
                         lost.push((
                             msg,
                             SimError::Router {
@@ -296,8 +309,14 @@ impl<'a> RoundSimulator<'a> {
                 let env = self.scheme.node_env(u);
                 for _ in 0..self.capacity {
                     let Some(mut msg) = queue.pop_front() else { break };
+                    msg.tracer.set_time(u64::from(round));
                     if let Some(ttl) = self.ttl {
                         if round - msg.injected_round > ttl {
+                            msg.tracer.hit(
+                                u,
+                                msg.state.counter,
+                                HopKind::TtlExpired { ttl: u64::from(ttl) },
+                            );
                             lost.push((msg, SimError::TtlExpired { ttl }));
                             continue;
                         }
@@ -305,31 +324,52 @@ impl<'a> RoundSimulator<'a> {
                     let dest_label = self.scheme.label_of(msg.dst);
                     match router.route(&env, &dest_label, &mut msg.state) {
                         Ok(RouteDecision::Deliver) if u == msg.dst => {
+                            msg.tracer.hit(u, msg.state.counter, HopKind::Deliver);
                             report.delivered += 1;
                             report.latencies.push(round - 1 - msg.injected_round);
                             in_flight -= 1;
                         }
                         Ok(RouteDecision::Deliver) => {
+                            msg.tracer.hit(u, msg.state.counter, HopKind::Misdelivered);
                             lost.push((msg, SimError::Misdelivered { at: u }));
                         }
                         Ok(RouteDecision::Forward(p)) => match pa.neighbor_at(u, p) {
                             Some(next) => match faults.check_hop(u, next) {
                                 None => {
+                                    msg.tracer.hit(
+                                        u,
+                                        msg.state.counter,
+                                        HopKind::Forward { port: p, next, rank: 0 },
+                                    );
                                     msg.hops += 1;
                                     arrivals[next].push(msg);
                                 }
-                                Some(fault) => lost.push((msg, hop_error(u, next, fault))),
+                                Some(fault) => {
+                                    msg.tracer.hit(
+                                        u,
+                                        msg.state.counter,
+                                        HopKind::Blocked { port: p, next, fault: fault.into() },
+                                    );
+                                    lost.push((msg, hop_error(u, next, fault)));
+                                }
                             },
-                            None => lost.push((
-                                msg,
-                                SimError::Router {
-                                    at: u,
-                                    error: ort_routing::scheme::RouteError::PortOutOfRange {
-                                        port: p,
-                                        degree: env.degree,
+                            None => {
+                                msg.tracer.hit(
+                                    u,
+                                    msg.state.counter,
+                                    HopKind::Dropped { reason: "bad port" },
+                                );
+                                lost.push((
+                                    msg,
+                                    SimError::Router {
+                                        at: u,
+                                        error: ort_routing::scheme::RouteError::PortOutOfRange {
+                                            port: p,
+                                            degree: env.degree,
+                                        },
                                     },
-                                },
-                            )),
+                                ));
+                            }
                         },
                         Ok(RouteDecision::ForwardAny(ports)) => {
                             // Failover: the first advertised port whose hop
@@ -345,10 +385,19 @@ impl<'a> RoundSimulator<'a> {
                                 };
                                 match faults.check_hop(u, cand) {
                                     None => {
-                                        chosen = Some((i, cand));
+                                        chosen = Some((i, p, cand));
                                         break;
                                     }
                                     Some(fault) => {
+                                        msg.tracer.hit(
+                                            u,
+                                            msg.state.counter,
+                                            HopKind::Blocked {
+                                                port: p,
+                                                next: cand,
+                                                fault: fault.into(),
+                                            },
+                                        );
                                         if first_fault.is_none() {
                                             first_fault = Some((cand, fault));
                                         }
@@ -356,6 +405,11 @@ impl<'a> RoundSimulator<'a> {
                                 }
                             }
                             if let Some(p) = bad_port {
+                                msg.tracer.hit(
+                                    u,
+                                    msg.state.counter,
+                                    HopKind::Dropped { reason: "bad port" },
+                                );
                                 lost.push((
                                     msg,
                                     SimError::Router {
@@ -366,10 +420,15 @@ impl<'a> RoundSimulator<'a> {
                                         },
                                     },
                                 ));
-                            } else if let Some((i, next)) = chosen {
+                            } else if let Some((i, p, next)) = chosen {
                                 if i > 0 {
                                     report.reroutes += 1;
                                 }
+                                msg.tracer.hit(
+                                    u,
+                                    msg.state.counter,
+                                    HopKind::Forward { port: p, next, rank: i as u32 },
+                                );
                                 msg.hops += 1;
                                 arrivals[next].push(msg);
                             } else {
@@ -385,7 +444,10 @@ impl<'a> RoundSimulator<'a> {
                                 lost.push((msg, err));
                             }
                         }
-                        Err(error) => lost.push((msg, SimError::Router { at: u, error })),
+                        Err(error) => {
+                            msg.tracer.hit(u, msg.state.counter, HopKind::RouterError);
+                            lost.push((msg, SimError::Router { at: u, error }));
+                        }
                     }
                 }
             }

@@ -16,6 +16,10 @@
 //! * **Sinks** ([`sink`]) — a human-readable span tree, a JSONL event
 //!   stream, and a flamegraph-compatible folded-stacks dump, selected at
 //!   runtime by the `ORT_TELEMETRY` env var (see [`flush`]).
+//! * **Traces** ([`trace`]) — per-message hop-event capture: an installed
+//!   [`trace::TraceRecorder`] collects every routing decision of selected
+//!   `(src, dst)` walks with deterministic ids, feeding `ort trace` and
+//!   the resilience diagnostics.
 //!
 //! # Determinism contract
 //!
@@ -59,10 +63,14 @@
 pub mod counter;
 pub mod sink;
 pub mod span;
+pub mod trace;
 
 pub use counter::{Counter, Gauge};
 pub use sink::{ParsedField, ParsedSnapshot, ParsedSpan, Snapshot};
 pub use span::{span, span_with, Context, ContextGuard, FieldValue, SpanGuard, SpanRecord};
+pub use trace::{
+    AttemptTrace, HopEvent, HopKind, MessageTrace, TraceFault, TraceRecorder, WalkTracer,
+};
 
 /// Whether telemetry recording is compiled in (the `enabled` feature).
 /// Constant per build; probes branch on it and the disabled branch folds

@@ -185,7 +185,11 @@ impl Snapshot {
                 }
                 write_json_str(&mut out, seg);
             }
-            let _ = write!(out, "],\"ns\":{},\"thread\":{},\"fields\":{{", r.ns, r.thread);
+            let _ = write!(
+                out,
+                "],\"ns\":{},\"start\":{},\"end\":{},\"thread\":{},\"fields\":{{",
+                r.ns, r.start, r.end, r.thread
+            );
             for (i, (k, v)) in r.fields.iter().enumerate() {
                 if i > 0 {
                     out.push(',');
@@ -225,6 +229,8 @@ impl Snapshot {
                 .map(|r| ParsedSpan {
                     path: r.path.iter().map(|s| (*s).to_string()).collect(),
                     ns: r.ns,
+                    start: r.start,
+                    end: r.end,
                     thread: r.thread,
                     fields: r
                         .fields
@@ -251,6 +257,11 @@ pub struct ParsedSpan {
     pub path: Vec<String>,
     /// Elapsed nanoseconds.
     pub ns: u64,
+    /// Open time (ns on the process anchor clock).
+    pub start: u64,
+    /// Close time; [`parse_jsonl`] rejects records where it precedes
+    /// `start`.
+    pub end: u64,
     /// Recording thread id.
     pub thread: u64,
     /// Typed metadata fields.
@@ -316,9 +327,19 @@ pub fn parse_jsonl(stream: &str) -> Result<ParsedSnapshot, String> {
                             .collect()
                     })
                     .unwrap_or_default();
+                let start = get_num(obj, "start").unwrap_or(0);
+                let end = get_num(obj, "end").unwrap_or(0);
+                if end < start {
+                    return Err(format!(
+                        "line {}: span end {end} precedes start {start}",
+                        lineno + 1
+                    ));
+                }
                 out.spans.push(ParsedSpan {
                     path,
                     ns: get_num(obj, "ns").unwrap_or(0),
+                    start,
+                    end,
                     thread: get_num(obj, "thread").unwrap_or(0),
                     fields,
                 });
@@ -536,13 +557,22 @@ mod tests {
                 SpanRecord {
                     path: vec!["profile", "profile.build"],
                     ns: 1500,
+                    start: 1000,
+                    end: 2500,
                     thread: 0,
                     fields: vec![
                         ("n", FieldValue::Int(64)),
                         ("scheme", FieldValue::Str("theorem1")),
                     ],
                 },
-                SpanRecord { path: vec!["profile"], ns: 2500, thread: 0, fields: vec![] },
+                SpanRecord {
+                    path: vec!["profile"],
+                    ns: 2500,
+                    start: 500,
+                    end: 3000,
+                    thread: 0,
+                    fields: vec![],
+                },
             ],
             counters: vec![("apsp.sources", 64), ("verify.pairs", 4032)],
             gauges: vec![("simnet.max_queue", 7)],
@@ -566,6 +596,22 @@ mod tests {
     }
 
     #[test]
+    fn jsonl_rejects_span_end_before_start() {
+        // A span cannot close before it opened; a stream claiming so is
+        // corrupt and must be rejected, not silently accepted.
+        let bad = "{\"type\":\"span\",\"path\":[\"x\"],\"ns\":5,\"start\":100,\"end\":95,\
+                   \"thread\":0,\"fields\":{}}";
+        let err = parse_jsonl(bad).expect_err("end < start must be rejected");
+        assert!(err.contains("precedes"), "unexpected error: {err}");
+        // The boundary case end == start (an empty span) is legal…
+        let zero = bad.replace("\"end\":95", "\"end\":100");
+        assert!(parse_jsonl(&zero).is_ok());
+        // …and records from streams predating start/end default to 0/0.
+        let legacy = "{\"type\":\"span\",\"path\":[\"x\"],\"ns\":5,\"thread\":0,\"fields\":{}}";
+        assert!(parse_jsonl(legacy).is_ok());
+    }
+
+    #[test]
     fn summary_tree_shape() {
         let s = sample().summary_tree();
         // Child indented under parent, with counts, times and fields.
@@ -582,6 +628,8 @@ mod tests {
         snap.spans.push(SpanRecord {
             path: vec!["profile", "profile.build"],
             ns: 500,
+            start: 3000,
+            end: 3500,
             thread: 1,
             fields: vec![],
         });

@@ -11,7 +11,7 @@
 
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 /// A span or event field value: small typed metadata (`n = 128`,
@@ -33,8 +33,14 @@ pub struct SpanRecord {
     /// Stack of open span names when the span closed, outermost first;
     /// the last element is the span's own name.
     pub path: Vec<&'static str>,
-    /// Elapsed wall time in nanoseconds ([`Instant`]-based, monotonic).
+    /// Elapsed wall time in nanoseconds ([`Instant`]-based, monotonic);
+    /// always equals `end - start`.
     pub ns: u64,
+    /// Open time, in nanoseconds since the process's first span opened
+    /// (a monotonic per-process anchor, comparable across spans).
+    pub start: u64,
+    /// Close time on the same clock as `start`; never precedes it.
+    pub end: u64,
     /// Small sequential id of the recording thread (first-use order).
     pub thread: u64,
     /// Typed metadata attached at open time.
@@ -43,6 +49,10 @@ pub struct SpanRecord {
 
 /// Completed spans, append-only while a workload runs.
 static RECORDS: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
+/// Monotonic anchor for `SpanRecord::start`/`end`: the instant the
+/// process's first span opened. Never reset — offsets stay comparable
+/// across [`crate::reset`] calls.
+static ANCHOR: OnceLock<Instant> = OnceLock::new();
 /// Next sequential thread id.
 static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
 
@@ -86,10 +96,13 @@ pub fn span(name: &'static str) -> SpanGuard {
 /// As [`span`], with typed metadata fields attached to the record.
 pub fn span_with(name: &'static str, fields: &[(&'static str, FieldValue)]) -> SpanGuard {
     if !crate::enabled() {
-        return SpanGuard { start: None, fields: Vec::new() };
+        return SpanGuard { start: None, start_ns: 0, fields: Vec::new() };
     }
     STACK.with(|s| s.borrow_mut().push(name));
-    SpanGuard { start: Some(Instant::now()), fields: fields.to_vec() }
+    let anchor = *ANCHOR.get_or_init(Instant::now);
+    let start = Instant::now();
+    let start_ns = u64::try_from(start.duration_since(anchor).as_nanos()).unwrap_or(u64::MAX);
+    SpanGuard { start: Some(start), start_ns, fields: fields.to_vec() }
 }
 
 /// RAII guard for an open span; records the span on drop. Inert (and
@@ -97,6 +110,7 @@ pub fn span_with(name: &'static str, fields: &[(&'static str, FieldValue)]) -> S
 #[must_use = "a span guard must be held for the duration of the region it times"]
 pub struct SpanGuard {
     start: Option<Instant>,
+    start_ns: u64,
     fields: Vec<(&'static str, FieldValue)>,
 }
 
@@ -113,6 +127,8 @@ impl Drop for SpanGuard {
         lock_records().push(SpanRecord {
             path,
             ns,
+            start: self.start_ns,
+            end: self.start_ns.saturating_add(ns),
             thread: thread_id(),
             fields: std::mem::take(&mut self.fields),
         });

@@ -8,6 +8,8 @@
 //! ort bench-gate [--record]               bit-drift + perf-regression gate
 //! ort conformance [out.json]              run the full conformance suite
 //! ort resilience  [--verbose] [out.json]  fault-intensity sweep over all schemes
+//! ort trace <scheme> --n N --seed S [--src A --dst B | --worst]
+//!                                         capture one walk, explain its stretch
 //! ort schemes                             list available schemes
 //! ```
 //!
@@ -18,7 +20,6 @@
 
 use std::process::ExitCode;
 
-use optimal_routing_tables::conformance::json::Json;
 use optimal_routing_tables::conformance::registry::SchemeId;
 use optimal_routing_tables::graphs::random_props::RandomnessReport;
 use optimal_routing_tables::graphs::{generators, Graph};
@@ -45,6 +46,7 @@ fn usage() -> ExitCode {
     eprintln!("  ort load    <file> <src> <dst>");
     eprintln!("  ort conformance [out.json]               (default results/CONFORMANCE.json)");
     eprintln!("  ort resilience [--verbose] [out.json]    (default results/RESILIENCE.json)");
+    eprintln!("  ort trace   <scheme> [--n N] [--seed S] (--src A --dst B | --worst)");
     eprintln!("  ort schemes");
     ExitCode::FAILURE
 }
@@ -112,200 +114,6 @@ fn bytes_to_bits(data: &[u8]) -> Result<optimal_routing_tables::bitio::BitVec, S
         bits.push((byte >> (7 - (i % 8))) & 1 == 1);
     }
     Ok(bits)
-}
-
-/// The sweep behind `ort resilience`: every registry scheme, bare and
-/// wrapped in the resilient detour adapter, against the same seeded
-/// link-fault loads of increasing intensity on three topologies. Returns
-/// the report and the acceptance violations (empty ⇒ exit 0).
-fn resilience_sweep(
-    verbose: bool,
-    mut progress: impl FnMut(&str),
-) -> Result<(Json, Vec<String>), String> {
-    use optimal_routing_tables::graphs::paths::Apsp;
-    use optimal_routing_tables::graphs::ports::PortAssignment;
-    use optimal_routing_tables::routing::schemes::resilient::ResilientScheme;
-    use optimal_routing_tables::simnet::faults::FaultPlan;
-    use optimal_routing_tables::simnet::resilience::{
-        acceptance_violations, resilience_hop_limit, run_cell_detailed, ResilienceConfig,
-        SweepCell,
-    };
-    use optimal_routing_tables::simnet::FailureBreakdown;
-
-    const FAULT_SEED: u64 = 13;
-    const INTENSITIES: [f64; 4] = [0.0, 0.05, 0.15, 0.30];
-
-    fn breakdown(b: &FailureBreakdown) -> Json {
-        Json::Obj(b.entries().iter().map(|&(k, v)| (k.to_string(), Json::Int(v as i64))).collect())
-    }
-    fn opt_num(x: Option<f64>) -> Json {
-        x.map_or(Json::Null, Json::Num)
-    }
-
-    let cfg = ResilienceConfig::default();
-    let topologies: Vec<(&str, Graph)> = vec![
-        ("gnp32", generators::gnp_half(32, 3)),
-        ("grid6x6", generators::grid(6, 6)),
-        ("path24", generators::path(24)),
-    ];
-    let mut cells: Vec<SweepCell> = Vec::new();
-    let mut refusals: Vec<Json> = Vec::new();
-    let mut loads: Vec<Json> = Vec::new();
-    for (tname, g) in &topologies {
-        let apsp = Apsp::compute(g);
-        let pa = PortAssignment::sorted(g);
-        // One shared plan per (topology, intensity): every scheme faces the
-        // same broken links, so cells are comparable.
-        let plans: Vec<FaultPlan> = INTENSITIES
-            .iter()
-            .enumerate()
-            .map(|(i, &x)| FaultPlan::random_link_faults(&pa, x, FAULT_SEED + i as u64))
-            .collect();
-        for (i, &intensity) in INTENSITIES.iter().enumerate() {
-            loads.push(Json::obj(vec![
-                ("topology", Json::Str((*tname).into())),
-                ("intensity", Json::Num(intensity)),
-                ("seed", Json::Int((FAULT_SEED + i as u64) as i64)),
-                ("links_down", Json::Int(plans[i].len() as i64)),
-            ]));
-        }
-        for id in SchemeId::ALL {
-            let bare = match id.build(g) {
-                Ok(s) => s,
-                Err(e) => {
-                    progress(&format!("{tname}/{}: refused ({e})", id.name()));
-                    refusals.push(Json::obj(vec![
-                        ("topology", Json::Str((*tname).into())),
-                        ("scheme", Json::Str(id.name().into())),
-                        ("reason", Json::Str(e.to_string())),
-                    ]));
-                    continue;
-                }
-            };
-            let wrapped = ResilientScheme::wrap(id.build(g).expect("built once already"));
-            progress(&format!("{tname}/{}: sweeping {} intensities", id.name(), INTENSITIES.len()));
-            for (i, &intensity) in INTENSITIES.iter().enumerate() {
-                for (is_wrapped, scheme) in
-                    [(false, bare.as_ref()), (true, &wrapped as &dyn RoutingScheme)]
-                {
-                    let (metrics, hop_stats, round_report) =
-                        run_cell_detailed(scheme, &apsp, &plans[i], &cfg)
-                            .map_err(|e| e.to_string())?;
-                    if verbose {
-                        println!(
-                            "{tname}/{}{} at intensity {intensity}:",
-                            id.name(),
-                            if is_wrapped { " (wrapped)" } else { "" }
-                        );
-                        println!("  hop-level face:");
-                        println!("{hop_stats}");
-                        println!("  round face:");
-                        println!("{round_report}");
-                    }
-                    cells.push(SweepCell {
-                        topology: (*tname).into(),
-                        n: g.node_count(),
-                        intensity,
-                        scheme: id.name().into(),
-                        multipath: id == SchemeId::FullInformation,
-                        wrapped: is_wrapped,
-                        metrics,
-                    });
-                }
-            }
-        }
-    }
-    let violations = acceptance_violations(&cells);
-
-    let cell_json: Vec<Json> = cells
-        .iter()
-        .map(|c| {
-            // Stretch inflation is relative to the same scheme's fault-free
-            // run on the same topology.
-            let baseline = cells
-                .iter()
-                .find(|b| {
-                    b.topology == c.topology
-                        && b.scheme == c.scheme
-                        && b.wrapped == c.wrapped
-                        && b.intensity == 0.0
-                })
-                .and_then(|b| b.metrics.mean_stretch);
-            let inflation = match (c.metrics.mean_stretch, baseline) {
-                (Some(s), Some(b)) if b > 0.0 => Some(s / b),
-                _ => None,
-            };
-            Json::obj(vec![
-                ("topology", Json::Str(c.topology.clone())),
-                ("n", Json::Int(c.n as i64)),
-                ("intensity", Json::Num(c.intensity)),
-                ("scheme", Json::Str(c.scheme.clone())),
-                ("wrapped", Json::Bool(c.wrapped)),
-                ("multipath", Json::Bool(c.multipath)),
-                ("pairs", Json::Int(c.metrics.pairs as i64)),
-                ("delivered", Json::Int(c.metrics.delivered as i64)),
-                ("delivery_ratio", Json::Num(c.metrics.delivery_ratio())),
-                ("reachable_delivery_ratio", Json::Num(c.metrics.reachable_delivery_ratio())),
-                ("partition_detected", Json::Int(c.metrics.unreachable_failed as i64)),
-                ("avoidable_failed", Json::Int(c.metrics.avoidable_failed as i64)),
-                ("failures", breakdown(&c.metrics.failures)),
-                ("reroutes", Json::Int(c.metrics.reroutes as i64)),
-                ("mean_stretch", opt_num(c.metrics.mean_stretch)),
-                ("stretch_inflation", opt_num(inflation)),
-                ("rounds_to_drain", Json::Int(i64::from(c.metrics.rounds_to_drain))),
-                ("round_delivered", Json::Int(c.metrics.round_delivered as i64)),
-                ("round_failures", breakdown(&c.metrics.round_failures)),
-                ("round_stranded", Json::Int(c.metrics.round_stranded as i64)),
-                ("retries", Json::Int(c.metrics.retries as i64)),
-                ("round_reroutes", Json::Int(c.metrics.round_reroutes as i64)),
-                ("mean_latency", opt_num(c.metrics.mean_latency)),
-                ("max_queue", Json::Int(c.metrics.max_queue as i64)),
-            ])
-        })
-        .collect();
-
-    let json = Json::obj(vec![
-        ("suite", Json::Str("resilience".into())),
-        (
-            "config",
-            Json::obj(vec![
-                ("intensities", Json::Arr(INTENSITIES.iter().map(|&x| Json::Num(x)).collect())),
-                ("fault_seed", Json::Int(FAULT_SEED as i64)),
-                ("capacity", Json::Int(cfg.capacity as i64)),
-                ("ttl", cfg.ttl.map_or(Json::Null, |t| Json::Int(i64::from(t)))),
-                (
-                    "retry",
-                    Json::obj(vec![
-                        ("max_retries", Json::Int(i64::from(cfg.retry.max_retries))),
-                        ("backoff_base", Json::Int(i64::from(cfg.retry.backoff_base))),
-                        ("backoff_cap", Json::Int(i64::from(cfg.retry.backoff_cap))),
-                    ]),
-                ),
-                ("hop_limit_n32", Json::Int(resilience_hop_limit(32) as i64)),
-            ]),
-        ),
-        (
-            "topologies",
-            Json::Arr(
-                topologies
-                    .iter()
-                    .map(|(name, g)| {
-                        Json::obj(vec![
-                            ("name", Json::Str((*name).into())),
-                            ("n", Json::Int(g.node_count() as i64)),
-                            ("edges", Json::Int(g.edge_count() as i64)),
-                        ])
-                    })
-                    .collect(),
-            ),
-        ),
-        ("fault_loads", Json::Arr(loads)),
-        ("refusals", Json::Arr(refusals)),
-        ("cells", Json::Arr(cell_json)),
-        ("violations", Json::Arr(violations.iter().map(|v| Json::Str(v.clone())).collect())),
-        ("pass", Json::Bool(violations.is_empty())),
-    ]);
-    Ok((json, violations))
 }
 
 fn parse<T: std::str::FromStr>(s: Option<&String>, what: &str) -> Result<T, String> {
@@ -510,28 +318,67 @@ fn run() -> Result<(), String> {
             }
         }
         Some("resilience") => {
+            use optimal_routing_tables::sweep;
             let verbose = args.iter().any(|a| a == "--verbose");
             let out = args[1..]
                 .iter()
                 .find(|a| !a.starts_with("--"))
                 .map_or("results/RESILIENCE.json", String::as_str);
-            let (json, violations) = resilience_sweep(verbose, |line| println!("{line}"))?;
+            let outcome = sweep::resilience_sweep(verbose, |line| println!("{line}"))?;
             if let Some(dir) = std::path::Path::new(out).parent() {
                 if !dir.as_os_str().is_empty() {
                     std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
                 }
             }
-            std::fs::write(out, json.pretty()).map_err(|e| e.to_string())?;
+            std::fs::write(out, outcome.report.pretty()).map_err(|e| e.to_string())?;
             println!("wrote {out}");
-            if violations.is_empty() {
+            if let Some(diagnostics) = &outcome.diagnostics {
+                let diag_out = sweep::diagnostics_path(out);
+                std::fs::write(&diag_out, diagnostics.pretty()).map_err(|e| e.to_string())?;
+                println!("wrote {diag_out}");
+            }
+            if outcome.violations.is_empty() {
                 println!("resilience: PASS");
                 Ok(())
             } else {
-                for v in &violations {
+                for v in &outcome.violations {
                     eprintln!("violation: {v}");
                 }
-                Err(format!("resilience: FAIL ({} violations)", violations.len()))
+                Err(format!("resilience: FAIL ({} violations)", outcome.violations.len()))
             }
+        }
+        Some("trace") => {
+            use optimal_routing_tables::trace::{run_trace, TraceTarget};
+            let name = args.get(1).ok_or("missing scheme")?.clone();
+            // `--worst` is a bare flag; strip it before the `--flag value`
+            // parser sees the rest.
+            let worst = args[2..].iter().any(|a| a == "--worst");
+            let rest: Vec<String> = args[2..].iter().filter(|a| *a != "--worst").cloned().collect();
+            let (flags, positional) = parse_flags(&rest, &["n", "seed", "src", "dst"])?;
+            if !positional.is_empty() {
+                return Err(format!("unexpected argument '{}'", positional[0]));
+            }
+            let mut n = 64usize;
+            let mut seed = 1u64;
+            let mut src = None;
+            let mut dst = None;
+            for (flag, value) in &flags {
+                match flag.as_str() {
+                    "n" => n = value.parse().map_err(|_| "invalid --n")?,
+                    "seed" => seed = value.parse().map_err(|_| "invalid --seed")?,
+                    "src" => src = Some(value.parse().map_err(|_| "invalid --src")?),
+                    "dst" => dst = Some(value.parse().map_err(|_| "invalid --dst")?),
+                    _ => unreachable!("parse_flags filters"),
+                }
+            }
+            let target = match (worst, src, dst) {
+                (true, None, None) => TraceTarget::Worst,
+                (false, Some(s), Some(t)) => TraceTarget::Pair(s, t),
+                (true, _, _) => return Err("--worst excludes --src/--dst".into()),
+                _ => return Err("need --src A --dst B, or --worst".into()),
+            };
+            print!("{}", run_trace(&name, n, seed, target)?);
+            Ok(())
         }
         _ => {
             usage();

@@ -20,12 +20,17 @@
 //!   fuzzer, and machine-checked Table 1 bound suite behind
 //!   `ort conformance` and `results/CONFORMANCE.json`.
 //!
-//! Two CLI-facing modules live in this crate directly:
+//! Four CLI-facing modules live in this crate directly:
 //!
 //! * [`profile`] — the instrumented single-scheme run behind
 //!   `ort profile` (span tree, counters, per-node bit accounting).
 //! * [`gate`] — the bit-drift and perf-regression gate behind
 //!   `ort bench-gate` and `results/TELEMETRY_BASELINE.json`.
+//! * [`trace`] — the capture-and-explain run behind `ort trace`
+//!   (per-message route tracing with hop-by-hop stretch attribution).
+//! * [`sweep`] — the fault-intensity sweep behind `ort resilience`,
+//!   including its trace-backed diagnostics
+//!   (`results/RESILIENCE_DIAGNOSTICS.json`).
 //!
 //! # Quickstart
 //!
@@ -57,6 +62,8 @@
 
 pub mod gate;
 pub mod profile;
+pub mod sweep;
+pub mod trace;
 
 pub use ort_bitio as bitio;
 pub use ort_conformance as conformance;

@@ -1,0 +1,34 @@
+//! The `ort trace --worst` oracle contract: one invocation — scheme
+//! construction, worst-pair verification, and the hop-by-hop explanation —
+//! costs exactly one APSP computation.
+//!
+//! Asserted via `ort_graphs::paths::apsp_compute_count`, a process-wide
+//! counter — which is why this file holds exactly one test (see
+//! crates/routing/tests/oracle_sharing.rs for the same convention): any
+//! concurrently running test that computes an APSP would perturb the
+//! delta. Integration-test files get their own process, so isolation is
+//! guaranteed.
+
+#![cfg(feature = "telemetry")]
+
+use optimal_routing_tables::graphs::paths::apsp_compute_count;
+use optimal_routing_tables::trace::{run_trace, TraceTarget};
+
+#[test]
+fn trace_worst_costs_exactly_one_apsp() {
+    let before = apsp_compute_count();
+    let out = run_trace("theorem4", 40, 3, TraceTarget::Worst).expect("trace run");
+    assert_eq!(
+        apsp_compute_count() - before,
+        1,
+        "build + worst-pair verify + explain must share one APSP"
+    );
+    assert!(out.contains("worst pair by stretch"), "{out}");
+    assert!(out.contains("(reconciles)"), "{out}");
+
+    // An explicit pair skips verification entirely yet still costs the
+    // same single computation.
+    let before = apsp_compute_count();
+    run_trace("full-table", 24, 1, TraceTarget::Pair(0, 5)).expect("trace run");
+    assert_eq!(apsp_compute_count() - before, 1);
+}

@@ -1,101 +1,26 @@
 //! Experiment PERF-APSP: snapshots wall-clock APSP timings per engine to
 //! `results/BENCH_apsp.json`, so engine regressions show up in review.
 //!
-//! Variants, on dense `G(n, 1/2)` (the paper's regime):
+//! The measurement itself lives in the root crate's `bench` module (shared
+//! with `ort bench`); this bin is kept so the historical invocation still
+//! works:
 //!
-//! * `queue_serial`  — the seed implementation's behaviour (frontier queue
-//!   BFS, one source at a time); the baseline every speedup is quoted
-//!   against.
-//! * `bitset_serial` — word-parallel frontier BFS, still one thread.
-//! * `default`       — what `Apsp::compute` runs: the density heuristic
-//!   picks bitset here, threaded when the `parallel` feature is on.
+//! ```text
+//! cargo run --release -p ort-bench --bin apsp_snapshot
+//! ```
 //!
-//! Regenerate with: `cargo run --release -p ort-bench --bin apsp_snapshot`
+//! is equivalent to `cargo run --release --bin ort -- bench`.
 
-use std::hint::black_box;
-use std::time::Instant;
-
-use ort_graphs::generators;
-use ort_graphs::paths::{Apsp, ApspEngine};
-
-/// Best-of-`reps` wall-clock milliseconds for `f` (after one warmup call).
-fn best_ms<F: FnMut()>(mut f: F, reps: usize) -> f64 {
-    f();
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let t = Instant::now();
-        f();
-        best = best.min(t.elapsed().as_secs_f64() * 1e3);
-    }
-    best
-}
+use optimal_routing_tables::bench;
 
 fn main() {
-    let sizes = [128usize, 256, 512];
-    let mut results: Vec<(&'static str, usize, f64)> = Vec::new();
-    for &n in &sizes {
-        let g = generators::gnp_half(n, 1);
-        // Enough reps that best-of reaches the uncontended floor even on
-        // a noisy host — `ort bench-gate` compares ratios against these
-        // numbers, so a one-off slow rep here would consume its margin.
-        let reps = 5;
-        results.push((
-            "queue_serial",
-            n,
-            best_ms(|| drop(black_box(Apsp::compute_serial_with_engine(&g, ApspEngine::Queue))), reps),
-        ));
-        results.push((
-            "bitset_serial",
-            n,
-            best_ms(|| drop(black_box(Apsp::compute_serial_with_engine(&g, ApspEngine::Bitset))), reps),
-        ));
-        results.push(("default", n, best_ms(|| drop(black_box(Apsp::compute(&g))), reps)));
+    let opts = bench::BenchOptions::default();
+    let out = opts.out_path.clone();
+    match bench::run(&opts) {
+        Ok(records) => print!("{}", bench::summary(&records, &out)),
+        Err(e) => {
+            eprintln!("apsp_snapshot: error: {e}");
+            std::process::exit(1);
+        }
     }
-
-    let ms_of = |engine: &str, n: usize| {
-        results
-            .iter()
-            .find(|&&(e, m, _)| e == engine && m == n)
-            .map(|&(_, _, ms)| ms)
-            .expect("measured above")
-    };
-    let speedup = ms_of("queue_serial", 512) / ms_of("default", 512);
-
-    #[cfg(feature = "parallel")]
-    let threads = ort_graphs::paths::configured_threads();
-    #[cfg(not(feature = "parallel"))]
-    let threads = 1usize;
-    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
-
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"bench\": \"apsp\",\n");
-    json.push_str("  \"graph\": \"gnp_half(n, seed=1)\",\n");
-    json.push_str("  \"unit\": \"ms, best-of-reps wall clock\",\n");
-    json.push_str(&format!("  \"parallel_feature\": {},\n", cfg!(feature = "parallel")));
-    json.push_str(&format!("  \"threads\": {threads},\n"));
-    json.push_str(&format!("  \"host_cores\": {cores},\n"));
-    json.push_str(&format!(
-        "  \"speedup_default_vs_queue_serial_n512\": {speedup:.2},\n"
-    ));
-    json.push_str("  \"results\": [\n");
-    for (i, &(engine, n, ms)) in results.iter().enumerate() {
-        let sep = if i + 1 == results.len() { "" } else { "," };
-        json.push_str(&format!(
-            "    {{\"engine\": \"{engine}\", \"n\": {n}, \"ms\": {ms:.3}}}{sep}\n"
-        ));
-    }
-    json.push_str("  ]\n}\n");
-
-    std::fs::create_dir_all("results").expect("create results dir");
-    std::fs::write("results/BENCH_apsp.json", &json).expect("write snapshot");
-
-    println!("== APSP engine snapshot (dense G(n,1/2)) ==\n");
-    for &(engine, n, ms) in &results {
-        println!("  {engine:<14} n={n:<4} {ms:>10.3} ms");
-    }
-    println!(
-        "\n  default vs queue_serial at n=512: {speedup:.2}x ({threads} thread(s), {cores} host core(s))"
-    );
-    println!("  wrote results/BENCH_apsp.json");
 }

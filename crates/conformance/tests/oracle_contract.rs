@@ -1,0 +1,72 @@
+//! Conformance: distance-oracle contracts over the exhaustive corpus.
+//!
+//! Every connected graph on `n ≤ 6` nodes (up to isomorphism) is run
+//! against all three oracle obligations:
+//!
+//! * **Exact oracles agree** — the banded streaming oracle must equal
+//!   the full-matrix oracle on every pair, at every band granularity.
+//! * **Approximate oracles stay inside their contract** — the landmark
+//!   oracle's estimate must sit in `[d(u,v), d(u,v) + 2·min(r_u, r_v)]`
+//!   and its lower bound must never exceed the true distance.
+//! * **Exactness is advertised honestly** — `is_exact()` must be true
+//!   precisely for the oracles whose answers are always the truth.
+
+use ort_conformance::enumerate;
+use ort_graphs::oracle::{BandedOracle, Distances, LandmarkOracle};
+use ort_graphs::paths::Apsp;
+
+#[test]
+fn banded_oracle_is_exact_on_every_small_connected_graph() {
+    for n in 2..=6 {
+        for g in enumerate::connected_graphs(n) {
+            let apsp = Apsp::compute(&g);
+            assert!(apsp.is_exact());
+            for band_rows in [1, 2, n] {
+                let banded = BandedOracle::new(g.clone(), band_rows);
+                assert!(banded.is_exact());
+                for u in 0..n {
+                    for v in 0..n {
+                        assert_eq!(
+                            banded.distance(u, v),
+                            apsp.distance(u, v),
+                            "band_rows={band_rows}, pair ({u}, {v}), n={n}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn landmark_oracle_contract_holds_on_every_small_connected_graph() {
+    for n in 2..=6 {
+        for g in enumerate::connected_graphs(n) {
+            let apsp = Apsp::compute(&g);
+            // Sweep landmark counts from a single landmark to all nodes;
+            // at `count = n` the estimates must collapse to the truth.
+            for count in 1..=n {
+                let lo = LandmarkOracle::build_with_count(&g, 1, count);
+                assert!(!lo.is_exact());
+                for u in 0..n {
+                    for v in 0..n {
+                        let d = apsp.distance(u, v).expect("corpus graphs are connected");
+                        let est = lo.distance(u, v).expect("connected ⇒ estimable");
+                        let ru = lo.radius(u).expect("connected ⇒ a landmark is reachable");
+                        let rv = lo.radius(v).expect("connected ⇒ a landmark is reachable");
+                        let slack = 2 * ru.min(rv);
+                        assert!(
+                            est >= d && est <= d + slack,
+                            "estimate {est} outside [{d}, {d} + {slack}] \
+                             at ({u}, {v}), n={n}, count={count}"
+                        );
+                        assert!(lo.distance_lower_bound(u, v) <= d);
+                        if count == n {
+                            assert_eq!(est, d, "all-landmarks oracle must be exact-valued");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,439 @@
+//! Compact distance storage.
+//!
+//! The full-matrix APSP of [`crate::paths::Apsp`] historically stored every
+//! cell as a `u32`, which caps experiments near `n = 512`: at `n = 16384`
+//! the matrix alone is 1 GiB. Hop distances, however, are bounded by the
+//! graph's diameter — 2 on the paper's `G(n, 1/2)` workload, `O(log n)` on
+//! the sparse power-law graphs of the Internet-scale scenario — so almost
+//! every matrix fits in one byte per cell.
+//!
+//! [`DistStore`] is the width-erased cell container: a `u8`, `u16` or
+//! `u32` vector selected per graph by [`width_for`], which derives a sound
+//! diameter upper bound from one cheap traversal per connected component
+//! (`diam ≤ 2·ecc(representative)`). The all-ones cell of each width is
+//! the *unreachable* sentinel, mapped to [`UNREACHABLE`] at the `u32`
+//! boundary, so finite distances must stay strictly below
+//! [`CellWidth::max_finite`] — guaranteed by the bound.
+//!
+//! [`DistBand`] is a horizontal slice of the matrix (rows
+//! `start..start+rows`): the unit of the streaming/banded oracle mode
+//! ([`crate::oracle::BandedOracle`]), which computes and retires bands on
+//! demand instead of materialising all `n²` cells.
+
+use crate::paths::UNREACHABLE;
+use crate::{Graph, NodeId};
+
+/// A distance cell type: packs `u32` hop counts into a narrower integer,
+/// reserving the all-ones value as the unreachable sentinel. Implemented
+/// for `u8`, `u16` and `u32`; the BFS engines in [`crate::paths`] are
+/// generic over this trait so every engine runs at every width.
+pub trait DistCell: Copy + Eq + Send + Sync + 'static {
+    /// The unreachable sentinel (all ones).
+    const SENTINEL: Self;
+    /// Largest representable finite distance (sentinel − 1).
+    const MAX_FINITE: u32;
+    /// Packs a finite distance (or [`UNREACHABLE`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a finite `d` exceeds [`DistCell::MAX_FINITE`] — the width
+    /// chosen by [`width_for`] makes this unreachable in practice.
+    fn pack(d: u32) -> Self;
+    /// Unpacks to a `u32` distance; the sentinel becomes [`UNREACHABLE`].
+    fn to_dist(self) -> u32;
+}
+
+macro_rules! impl_cell {
+    ($t:ty) => {
+        impl DistCell for $t {
+            const SENTINEL: Self = <$t>::MAX;
+            const MAX_FINITE: u32 = (<$t>::MAX as u32) - 1;
+            #[inline]
+            fn pack(d: u32) -> Self {
+                if d == UNREACHABLE {
+                    return Self::SENTINEL;
+                }
+                assert!(d <= Self::MAX_FINITE, "distance {d} overflows cell width");
+                d as $t
+            }
+            #[inline]
+            fn to_dist(self) -> u32 {
+                if self == Self::SENTINEL {
+                    UNREACHABLE
+                } else {
+                    u32::from(self)
+                }
+            }
+        }
+    };
+}
+
+impl_cell!(u8);
+impl_cell!(u16);
+
+impl DistCell for u32 {
+    const SENTINEL: Self = u32::MAX;
+    const MAX_FINITE: u32 = u32::MAX - 1;
+    #[inline]
+    fn pack(d: u32) -> Self {
+        d
+    }
+    #[inline]
+    fn to_dist(self) -> u32 {
+        self
+    }
+}
+
+/// The cell width of a [`DistStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellWidth {
+    /// One byte per cell: distances up to 254.
+    U8,
+    /// Two bytes per cell: distances up to 65 534.
+    U16,
+    /// Four bytes per cell (the historical layout).
+    U32,
+}
+
+impl CellWidth {
+    /// Bytes occupied by one cell.
+    #[must_use]
+    pub fn bytes_per_cell(self) -> usize {
+        match self {
+            CellWidth::U8 => 1,
+            CellWidth::U16 => 2,
+            CellWidth::U32 => 4,
+        }
+    }
+
+    /// Largest finite distance the width can hold.
+    #[must_use]
+    pub fn max_finite(self) -> u32 {
+        match self {
+            CellWidth::U8 => u8::MAX_FINITE,
+            CellWidth::U16 => u16::MAX_FINITE,
+            CellWidth::U32 => u32::MAX_FINITE,
+        }
+    }
+
+    /// The narrowest width whose finite range covers `bound`.
+    #[must_use]
+    pub fn for_bound(bound: u32) -> CellWidth {
+        if bound <= u8::MAX_FINITE {
+            CellWidth::U8
+        } else if bound <= u16::MAX_FINITE {
+            CellWidth::U16
+        } else {
+            CellWidth::U32
+        }
+    }
+
+    /// Stable lowercase name (`"u8"`, `"u16"`, `"u32"`) for reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CellWidth::U8 => "u8",
+            CellWidth::U16 => "u16",
+            CellWidth::U32 => "u32",
+        }
+    }
+}
+
+/// A width-erased vector of distance cells. Every cell starts as the
+/// unreachable sentinel; reads come back as `u32` with [`UNREACHABLE`]
+/// for the sentinel, so callers never see the width.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DistStore {
+    /// One-byte cells.
+    U8(Vec<u8>),
+    /// Two-byte cells.
+    U16(Vec<u16>),
+    /// Four-byte cells.
+    U32(Vec<u32>),
+}
+
+impl DistStore {
+    /// A store of `cells` sentinel-initialised cells at `width`.
+    #[must_use]
+    pub fn unreachable(width: CellWidth, cells: usize) -> DistStore {
+        match width {
+            CellWidth::U8 => DistStore::U8(vec![u8::SENTINEL; cells]),
+            CellWidth::U16 => DistStore::U16(vec![u16::SENTINEL; cells]),
+            CellWidth::U32 => DistStore::U32(vec![u32::SENTINEL; cells]),
+        }
+    }
+
+    /// Number of cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            DistStore::U8(v) => v.len(),
+            DistStore::U16(v) => v.len(),
+            DistStore::U32(v) => v.len(),
+        }
+    }
+
+    /// Whether the store has no cells.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The store's cell width.
+    #[must_use]
+    pub fn width(&self) -> CellWidth {
+        match self {
+            DistStore::U8(_) => CellWidth::U8,
+            DistStore::U16(_) => CellWidth::U16,
+            DistStore::U32(_) => CellWidth::U32,
+        }
+    }
+
+    /// Heap bytes held by the cells (the oracle-memory figure the bench
+    /// metadata reports).
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.len() * self.width().bytes_per_cell()
+    }
+
+    /// Reads cell `idx` as a `u32` distance ([`UNREACHABLE`] encodes
+    /// unreachable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, idx: usize) -> u32 {
+        match self {
+            DistStore::U8(v) => v[idx].to_dist(),
+            DistStore::U16(v) => v[idx].to_dist(),
+            DistStore::U32(v) => v[idx],
+        }
+    }
+
+    /// Writes distance `d` into cell `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range or a finite `d` overflows the width.
+    #[inline]
+    pub fn set(&mut self, idx: usize, d: u32) {
+        match self {
+            DistStore::U8(v) => v[idx] = u8::pack(d),
+            DistStore::U16(v) => v[idx] = u16::pack(d),
+            DistStore::U32(v) => v[idx] = d,
+        }
+    }
+
+    /// Materialises the whole store as a `u32` vector (sentinels become
+    /// [`UNREACHABLE`]). Intended for tests and cross-width comparisons —
+    /// this is the allocation the compact widths exist to avoid.
+    #[must_use]
+    pub fn to_u32_vec(&self) -> Vec<u32> {
+        match self {
+            DistStore::U8(v) => v.iter().map(|&c| c.to_dist()).collect(),
+            DistStore::U16(v) => v.iter().map(|&c| c.to_dist()).collect(),
+            DistStore::U32(v) => v.clone(),
+        }
+    }
+}
+
+/// A horizontal band of the distance matrix: rows
+/// `start..start + rows`, each of `n` cells. The streaming oracle mode
+/// computes these on demand and retires them, so peak memory is
+/// `rows × n` cells instead of `n²`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistBand {
+    start: usize,
+    rows: usize,
+    n: usize,
+    store: DistStore,
+}
+
+impl DistBand {
+    /// Wraps a computed store as the band `start..start + rows`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store's cell count is not `rows × n`.
+    #[must_use]
+    pub fn new(start: usize, rows: usize, n: usize, store: DistStore) -> DistBand {
+        assert_eq!(store.len(), rows * n, "band store has the wrong cell count");
+        DistBand { start, rows, n, store }
+    }
+
+    /// First source row the band covers.
+    #[must_use]
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Number of source rows in the band.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether source `u`'s row lies in this band.
+    #[must_use]
+    pub fn contains(&self, u: NodeId) -> bool {
+        (self.start..self.start + self.rows).contains(&u)
+    }
+
+    /// Distance from `u` (which must be in the band) to `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is outside the band or `v ≥ n`.
+    #[must_use]
+    pub fn distance(&self, u: NodeId, v: NodeId) -> Option<u32> {
+        assert!(self.contains(u), "source {u} outside band");
+        assert!(v < self.n, "node out of range");
+        match self.store.get((u - self.start) * self.n + v) {
+            UNREACHABLE => None,
+            d => Some(d),
+        }
+    }
+
+    /// The band's backing store.
+    #[must_use]
+    pub fn store(&self) -> &DistStore {
+        &self.store
+    }
+}
+
+/// A sound upper bound on every finite pairwise distance in `g`: one BFS
+/// per connected component (each node is traversed exactly once overall,
+/// so the probe is `O(n + m)` total), bounding each component's diameter
+/// by twice its representative's eccentricity, clamped to `n − 1`.
+#[must_use]
+pub fn diameter_upper_bound(g: &Graph) -> u32 {
+    let n = g.node_count();
+    if n <= 1 {
+        return 0;
+    }
+    let mut dist = vec![UNREACHABLE; n];
+    let mut queue = std::collections::VecDeque::new();
+    let mut bound = 0u64;
+    for s in 0..n {
+        if dist[s] != UNREACHABLE {
+            continue;
+        }
+        dist[s] = 0;
+        queue.push_back(s);
+        let mut ecc = 0u32;
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u];
+            ecc = ecc.max(du);
+            for &v in g.neighbors(u) {
+                if dist[v] == UNREACHABLE {
+                    dist[v] = du + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        bound = bound.max(2 * u64::from(ecc));
+    }
+    bound.min((n - 1) as u64) as u32
+}
+
+/// The cell width [`crate::paths::Apsp::compute`] uses for `g`: the
+/// narrowest width covering [`diameter_upper_bound`]. Deterministic per
+/// graph — in particular it does not depend on the engine or the thread
+/// count, so compact matrices stay byte-identical across both.
+#[must_use]
+pub fn width_for(g: &Graph) -> CellWidth {
+    CellWidth::for_bound(diameter_upper_bound(g))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn cell_pack_roundtrip() {
+        assert_eq!(u8::pack(0).to_dist(), 0);
+        assert_eq!(u8::pack(254).to_dist(), 254);
+        assert_eq!(u8::pack(UNREACHABLE), u8::SENTINEL);
+        assert_eq!(u8::SENTINEL.to_dist(), UNREACHABLE);
+        assert_eq!(u16::pack(65534).to_dist(), 65534);
+        assert_eq!(u32::pack(UNREACHABLE).to_dist(), UNREACHABLE);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn cell_overflow_panics() {
+        let _ = u8::pack(255);
+    }
+
+    #[test]
+    fn width_selection_brackets() {
+        assert_eq!(CellWidth::for_bound(0), CellWidth::U8);
+        assert_eq!(CellWidth::for_bound(254), CellWidth::U8);
+        assert_eq!(CellWidth::for_bound(255), CellWidth::U16);
+        assert_eq!(CellWidth::for_bound(65534), CellWidth::U16);
+        assert_eq!(CellWidth::for_bound(65535), CellWidth::U32);
+        assert_eq!(CellWidth::U8.bytes_per_cell(), 1);
+        assert_eq!(CellWidth::U16.bytes_per_cell(), 2);
+        assert_eq!(CellWidth::U32.bytes_per_cell(), 4);
+    }
+
+    #[test]
+    fn store_get_set_across_widths() {
+        for width in [CellWidth::U8, CellWidth::U16, CellWidth::U32] {
+            let mut s = DistStore::unreachable(width, 8);
+            assert_eq!(s.len(), 8);
+            assert!(!s.is_empty());
+            assert_eq!(s.width(), width);
+            assert_eq!(s.heap_bytes(), 8 * width.bytes_per_cell());
+            assert_eq!(s.get(3), UNREACHABLE);
+            s.set(3, 17);
+            s.set(0, 0);
+            assert_eq!(s.get(3), 17);
+            assert_eq!(s.get(0), 0);
+            assert_eq!(s.to_u32_vec()[3], 17);
+            assert_eq!(s.to_u32_vec()[1], UNREACHABLE);
+        }
+    }
+
+    #[test]
+    fn diameter_bound_is_sound_and_cheap() {
+        for (g, name) in [
+            (generators::path(20), "path"),
+            (generators::cycle(12), "cycle"),
+            (generators::complete(9), "complete"),
+            (generators::gnp_half(40, 1), "gnp"),
+            (generators::grid(5, 7), "grid"),
+            (crate::Graph::from_edges(9, [(0, 1), (1, 2), (5, 6)]).unwrap(), "split"),
+            (crate::Graph::empty(4), "isolated"),
+        ] {
+            let bound = diameter_upper_bound(&g);
+            let apsp = crate::paths::Apsp::compute(&g);
+            for u in 0..g.node_count() {
+                for v in 0..g.node_count() {
+                    if let Some(d) = apsp.distance(u, v) {
+                        assert!(d <= bound, "{name}: d({u},{v})={d} > bound {bound}");
+                    }
+                }
+            }
+            assert!(bound <= g.node_count().saturating_sub(1) as u32, "{name}");
+        }
+    }
+
+    #[test]
+    fn band_distance_reads() {
+        let mut store = DistStore::unreachable(CellWidth::U8, 2 * 5);
+        store.set(3, 2); // row for source 4
+        store.set(5 + 1, 7); // row for source 5
+        let band = DistBand::new(4, 2, 5, store);
+        assert!(band.contains(4) && band.contains(5) && !band.contains(6));
+        assert_eq!(band.start(), 4);
+        assert_eq!(band.rows(), 2);
+        assert_eq!(band.distance(4, 3), Some(2));
+        assert_eq!(band.distance(5, 1), Some(7));
+        assert_eq!(band.distance(4, 0), None);
+        assert_eq!(band.store().width(), CellWidth::U8);
+    }
+}

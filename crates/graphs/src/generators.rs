@@ -327,6 +327,65 @@ pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Grap
     grown
 }
 
+/// A Krapivsky–Redner *redirection* graph: preferential attachment with a
+/// configurable degree exponent `γ`. Each new node attaches to `m` earlier
+/// nodes; every target is drawn uniformly among the earlier nodes and,
+/// with probability `1/(γ−1)`, *redirected* to that node's own first
+/// attachment point. Redirection favours high-degree anchors, producing a
+/// power-law degree tail `P(deg = k) ∝ k^{−γ}`: `γ = 3` recovers the
+/// Barabási–Albert exponent, larger `γ` approaches uniform attachment,
+/// and `γ → 2⁺` gives the hub-dominated topologies of Internet-like
+/// graphs. The result is connected by construction (every node links to
+/// an earlier one), so sparse `n = 10⁴+` benches need no rejection loop.
+///
+/// # Panics
+///
+/// Panics if `m == 0`, `m + 1 > n` or `γ ≤ 2` (the redirection
+/// probability `1/(γ−1)` must stay below 1).
+#[must_use]
+pub fn power_law<R: Rng + ?Sized>(n: usize, m: usize, gamma: f64, rng: &mut R) -> Graph {
+    assert!(m >= 1 && m < n, "need 1 ≤ m < n");
+    assert!(gamma > 2.0, "need γ > 2 for a proper redirection probability");
+    let redirect = 1.0 / (gamma - 1.0);
+    // Seed clique on nodes 0..=m, as in `barabasi_albert`.
+    let mut g = Graph::empty(n);
+    for u in 0..=m {
+        for v in u + 1..=m {
+            g.add_edge(u, v).expect("valid pair");
+        }
+    }
+    // Each node's first attachment point — where redirected draws land.
+    let mut anchor: Vec<NodeId> = vec![0; n];
+    for u in m + 1..n {
+        let mut targets = std::collections::BTreeSet::new();
+        let mut guard = 0;
+        while targets.len() < m && guard < 100 * m {
+            let direct = rng.gen_range(0..u);
+            let t = if rng.gen_bool(redirect) { anchor[direct] } else { direct };
+            targets.insert(t);
+            guard += 1;
+        }
+        // Fallback: fill from low ids if sampling stalled (tiny graphs).
+        let mut fill = 0;
+        while targets.len() < m {
+            targets.insert(fill);
+            fill += 1;
+        }
+        anchor[u] = *targets.iter().next().expect("m ≥ 1 targets");
+        for &t in &targets {
+            g.add_edge(u, t).expect("valid pair");
+        }
+    }
+    g
+}
+
+/// A seeded [`power_law`] sample — the sparse large-`n` bench workload.
+#[must_use]
+pub fn power_law_seeded(n: usize, m: usize, gamma: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    power_law(n, m, gamma, &mut rng)
+}
+
 /// A connected `G(n, p)` sample: re-draws (with derived seeds) until the
 /// sample is connected. For `p ≥ 2 ln n / n` this succeeds immediately with
 /// high probability.
@@ -534,6 +593,26 @@ mod tests {
         let min_d = g.nodes().map(|u| g.degree(u)).min().unwrap();
         assert!(min_d >= m);
         assert!(max_d >= 5 * m, "max degree {max_d} not heavy-tailed");
+    }
+
+    #[test]
+    fn power_law_structure_and_exponent_knob() {
+        let n = 400;
+        let m = 2;
+        let g = power_law_seeded(n, m, 2.2, 7);
+        // Every late node attaches exactly m edges, as in BA.
+        assert_eq!(g.edge_count(), m * (m + 1) / 2 + (n - m - 1) * m);
+        assert!(crate::paths::is_connected(&g));
+        // Determinism per seed.
+        assert_eq!(g, power_law_seeded(n, m, 2.2, 7));
+        assert_ne!(g, power_law_seeded(n, m, 2.2, 8));
+        // Smaller γ ⇒ more redirection ⇒ fatter hubs. Compare the max
+        // degree against a near-uniform-attachment sample.
+        let hubby = g.nodes().map(|u| g.degree(u)).max().unwrap();
+        let uniform = power_law_seeded(n, m, 50.0, 7);
+        let flat = uniform.nodes().map(|u| uniform.degree(u)).max().unwrap();
+        assert!(hubby > flat, "γ=2.2 max degree {hubby} ≤ γ=50 max degree {flat}");
+        assert!(hubby >= 10 * m, "max degree {hubby} not heavy-tailed");
     }
 
     #[test]

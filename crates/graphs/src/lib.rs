@@ -13,6 +13,12 @@
 //!   (Figure 1).
 //! * [`paths`] — BFS, all-pairs shortest paths, diameter, connectivity and
 //!   the shortest-path DAG needed by full-information routing.
+//! * [`dist`] — compact distance storage: `u8`/`u16`/`u32` matrix cells
+//!   chosen from a cheap diameter bound, plus horizontal matrix bands for
+//!   streaming oracles.
+//! * [`oracle`] — the [`oracle::Distances`] trait over exact and
+//!   approximate distance sources: the full matrix, a banded/streaming
+//!   oracle, and a landmark-based approximate oracle.
 //! * [`random_props`] — executable versions of the paper's Lemmas 1–3
 //!   (degree concentration, diameter 2, logarithmic dominating prefix).
 //! * [`ports`] — port-assignment machinery for models IA (fixed,
@@ -36,8 +42,10 @@
 
 mod graph;
 
+pub mod dist;
 pub mod generators;
 pub mod graph6;
+pub mod oracle;
 pub mod labels;
 pub mod paths;
 pub mod ports;

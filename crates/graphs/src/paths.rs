@@ -8,37 +8,52 @@
 //!
 //! # Engines
 //!
-//! Two single-source traversals back the APSP computation:
+//! Three single-source traversal strategies back the APSP computation, all
+//! generic over the compact cell widths of [`crate::dist`] (the matrix is
+//! stored as `u8`/`u16`/`u32` cells chosen from a per-graph diameter
+//! bound — see [`crate::dist::width_for`]):
 //!
 //! * **Queue BFS** — the textbook frontier queue over adjacency lists;
-//!   O(n + m) per source, best on sparse graphs.
+//!   O(n + m) per source, best on small sparse graphs.
 //! * **Bitset BFS** — the frontier and visited sets are `u64` words, and a
 //!   level expands by OR-ing whole adjacency-matrix rows
 //!   ([`crate::Graph::adjacency_row`]) into the next frontier. Each level
 //!   costs O(|frontier| · n/64) word operations, which on dense graphs
 //!   (the paper's G(n, 1/2) regime, diameter 2) beats pointer-chasing the
 //!   adjacency lists by a wide margin.
+//! * **Tiled multi-source BFS** — sources are processed in *tiles* of
+//!   `64·W` at a time ([`ApspEngine::tile_sources`], sized so the tile's
+//!   three per-node bitmask arrays fit in L2). Each node carries a `W`-word
+//!   mask of the tile's sources whose frontier it belongs to, so one
+//!   level-synchronous sweep of the adjacency lists advances *all* sources
+//!   in the tile together: each edge is touched once per level per tile
+//!   instead of once per level per source. This is the engine that opens
+//!   the sparse `n = 10⁴+` regime.
 //!
-//! [`ApspEngine::Auto`] picks between them from the average degree.
-//! With the default-on `parallel` feature, [`Apsp::compute`] additionally
-//! fans the per-source traversals out across threads (`std::thread::scope`;
+//! [`ApspEngine::Auto`] picks between them from the average degree and the
+//! graph order. With the default-on `parallel` feature, [`Apsp::compute`]
+//! additionally fans the work out across threads (`std::thread::scope`;
 //! the thread count honours the `ORT_THREADS` env var). Rows are assigned
-//! to threads in contiguous blocks and each thread writes its own disjoint
-//! slice of the matrix, so the result is byte-identical to the serial
-//! computation.
+//! to threads in contiguous blocks — whole tiles for the tiled engine —
+//! and each thread writes its own disjoint slice of the matrix, so the
+//! result is byte-identical to the serial computation.
 //!
 //! A computed [`Apsp`] wrapped in [`DistanceOracle`] (an `Arc`) can be
 //! shared between scheme construction and verification so the matrix is
 //! computed exactly once per graph; [`apsp_compute_count`] exposes a
-//! process-wide counter that tests use to assert this.
+//! process-wide counter that tests use to assert this. For graphs too
+//! large to hold all `n²` cells, [`compute_band`] materialises one
+//! horizontal band of rows at a time (the engine behind
+//! [`crate::oracle::BandedOracle`]).
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use crate::dist::{CellWidth, DistBand, DistCell, DistStore};
 use crate::{Graph, NodeId};
 
-/// Distance value encoding "unreachable" inside [`Apsp::dist_matrix`].
+/// Distance value encoding "unreachable" inside the matrix.
 pub const UNREACHABLE: u32 = u32::MAX;
 
 /// Process-wide count of full APSP computations (see [`apsp_compute_count`]).
@@ -66,12 +81,16 @@ pub type DistanceOracle = Arc<Apsp>;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ApspEngine {
     /// Choose per graph: bitset when the average degree is at least
-    /// [`ApspEngine::BITSET_AVG_DEGREE`], queue otherwise.
+    /// [`ApspEngine::BITSET_AVG_DEGREE`], else tiled multi-source BFS for
+    /// graphs of at least [`ApspEngine::TILED_MIN_N`] nodes, else queue.
     Auto,
     /// Frontier-queue BFS over adjacency lists.
     Queue,
     /// Word-parallel frontier BFS over adjacency-matrix rows.
     Bitset,
+    /// Cache-tiled multi-source BFS: `64·W` sources advance together per
+    /// adjacency sweep (see the module docs).
+    Tiled,
 }
 
 impl ApspEngine {
@@ -81,7 +100,38 @@ impl ApspEngine {
     /// per-neighbour queue pushes.
     pub const BITSET_AVG_DEGREE: usize = 32;
 
-    /// Resolves `Auto` against a concrete graph; `Queue` and `Bitset` are
+    /// Graph order from which [`ApspEngine::Auto`] prefers the tiled
+    /// multi-source engine on sparse graphs: below this, per-source queue
+    /// BFS already fits in cache and the tile bookkeeping does not pay.
+    pub const TILED_MIN_N: usize = 1024;
+
+    /// Cache budget the tile size is fitted to: the tile's three per-node
+    /// mask arrays (`seen`/`frontier`/`next`) together should stay within
+    /// roughly one L2 slice.
+    pub const TILE_L2_BUDGET_BYTES: usize = 512 * 1024;
+
+    /// Upper bound on the per-node mask width `W` (so a frontier mask fits
+    /// in a small stack buffer); the tile is at most `64·W = 256` sources.
+    pub const MAX_TILE_WORDS: usize = 4;
+
+    /// Sources per tile for a graph of `n` nodes: `64·W` with `W` chosen
+    /// so `3 · n · W · 8` bytes fit the L2 budget, clamped to
+    /// `[64, 64·MAX_TILE_WORDS]`. Depends only on `n` — never on the
+    /// thread count — so tiled matrices are byte-identical under any
+    /// `ORT_THREADS`.
+    #[must_use]
+    pub fn tile_sources(n: usize) -> usize {
+        64 * Self::tile_words(n)
+    }
+
+    fn tile_words(n: usize) -> usize {
+        if n == 0 {
+            return 1;
+        }
+        (Self::TILE_L2_BUDGET_BYTES / (3 * 8 * n)).clamp(1, Self::MAX_TILE_WORDS)
+    }
+
+    /// Resolves `Auto` against a concrete graph; explicit engines are
     /// returned unchanged.
     #[must_use]
     pub fn resolve(self, g: &Graph) -> ApspEngine {
@@ -90,11 +140,22 @@ impl ApspEngine {
                 let n = g.node_count();
                 if n > 0 && 2 * g.edge_count() / n >= Self::BITSET_AVG_DEGREE {
                     ApspEngine::Bitset
+                } else if n >= Self::TILED_MIN_N {
+                    ApspEngine::Tiled
                 } else {
                     ApspEngine::Queue
                 }
             }
             other => other,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            ApspEngine::Auto => "auto",
+            ApspEngine::Queue => "queue",
+            ApspEngine::Bitset => "bitset",
+            ApspEngine::Tiled => "tiled",
         }
     }
 }
@@ -133,31 +194,32 @@ pub fn bfs_distances(g: &Graph, src: NodeId, engine: ApspEngine) -> Vec<Option<u
     let _expansions = match engine.resolve(g) {
         ApspEngine::Queue => bfs_queue_into(g, src, &mut row),
         ApspEngine::Bitset => bfs_bitset_into(g, src, &mut row),
+        ApspEngine::Tiled => msbfs_into(g, src, 1, &mut row),
         ApspEngine::Auto => unreachable!("resolve() never returns Auto"),
     };
     row.into_iter().map(|d| if d == UNREACHABLE { None } else { Some(d) }).collect()
 }
 
-/// Queue BFS writing `UNREACHABLE`-encoded distances straight into a
-/// matrix row (no per-source allocations beyond the queue). Returns the
-/// number of frontier expansions (nodes whose neighbourhoods were
-/// scanned) so callers can feed telemetry with one atomic add per batch
-/// instead of one per node.
-fn bfs_queue_into(g: &Graph, src: NodeId, out: &mut [u32]) -> u64 {
-    out.fill(UNREACHABLE);
+/// Queue BFS writing sentinel-encoded distances straight into a matrix
+/// row (no per-source allocations beyond the queue). Returns the number
+/// of frontier expansions (nodes whose neighbourhoods were scanned) so
+/// callers can feed telemetry with one atomic add per batch instead of
+/// one per node.
+fn bfs_queue_into<T: DistCell>(g: &Graph, src: NodeId, out: &mut [T]) -> u64 {
+    out.fill(T::SENTINEL);
     if out.is_empty() {
         return 0;
     }
     let mut expanded = 0u64;
     let mut queue = VecDeque::new();
-    out[src] = 0;
+    out[src] = T::pack(0);
     queue.push_back(src);
     while let Some(u) = queue.pop_front() {
         expanded += 1;
-        let du = out[u];
+        let du = out[u].to_dist();
         for &v in g.neighbors(u) {
-            if out[v] == UNREACHABLE {
-                out[v] = du + 1;
+            if out[v] == T::SENTINEL {
+                out[v] = T::pack(du + 1);
                 queue.push_back(v);
             }
         }
@@ -171,9 +233,9 @@ fn bfs_queue_into(g: &Graph, src: NodeId, out: &mut [u32]) -> u64 {
 /// `BitVec::words()` keeping bits past `len()` zero. Returns the number
 /// of frontier expansions (nodes whose adjacency rows were OR-ed), the
 /// same quantity [`bfs_queue_into`] reports, so telemetry totals match
-/// across engines.
-fn bfs_bitset_into(g: &Graph, src: NodeId, out: &mut [u32]) -> u64 {
-    out.fill(UNREACHABLE);
+/// across the per-source engines.
+fn bfs_bitset_into<T: DistCell>(g: &Graph, src: NodeId, out: &mut [T]) -> u64 {
+    out.fill(T::SENTINEL);
     let n = g.node_count();
     if n == 0 {
         return 0;
@@ -185,7 +247,7 @@ fn bfs_bitset_into(g: &Graph, src: NodeId, out: &mut [u32]) -> u64 {
     let mut visited = vec![0u64; nwords];
     frontier[src / 64] |= 1u64 << (src % 64);
     visited[src / 64] |= 1u64 << (src % 64);
-    out[src] = 0;
+    out[src] = T::pack(0);
     let mut level: u32 = 0;
     loop {
         level += 1;
@@ -215,11 +277,124 @@ fn bfs_bitset_into(g: &Graph, src: NodeId, out: &mut [u32]) -> u64 {
             while bits != 0 {
                 let v = wi * 64 + bits.trailing_zeros() as usize;
                 bits &= bits - 1;
-                out[v] = level;
+                out[v] = T::pack(level);
             }
         }
         std::mem::swap(&mut frontier, &mut next);
     }
+}
+
+/// Multi-source BFS over one tile: sources `src0..src0 + count` advance
+/// level-synchronously, each node carrying a `count`-bit mask (`W ≤`
+/// [`ApspEngine::MAX_TILE_WORDS`] words) of the sources whose frontier it
+/// belongs to. One sweep of the adjacency lists per level serves the whole
+/// tile, so each edge is touched `O(diam)` times per tile rather than per
+/// source. `out` holds the tile's rows (`count × n` cells, row `i` =
+/// source `src0 + i`). Returns the number of node-level expansions (nodes
+/// whose neighbourhoods were scanned, counted once per level for the whole
+/// tile — a different quantity from the per-source engines' count).
+fn msbfs_into<T: DistCell>(g: &Graph, src0: NodeId, count: usize, out: &mut [T]) -> u64 {
+    out.fill(T::SENTINEL);
+    let n = g.node_count();
+    if n == 0 || count == 0 {
+        return 0;
+    }
+    let words = count.div_ceil(64);
+    assert!(
+        words <= ApspEngine::MAX_TILE_WORDS,
+        "tile of {count} sources exceeds the {}-word mask cap",
+        ApspEngine::MAX_TILE_WORDS
+    );
+    let mut seen = vec![0u64; n * words];
+    let mut frontier = vec![0u64; n * words];
+    let mut next = vec![0u64; n * words];
+    for i in 0..count {
+        let s = src0 + i;
+        seen[s * words + i / 64] |= 1u64 << (i % 64);
+        frontier[s * words + i / 64] |= 1u64 << (i % 64);
+        out[i * n + s] = T::pack(0);
+    }
+    let mut expanded = 0u64;
+    let mut level: u32 = 0;
+    let mut fv = [0u64; ApspEngine::MAX_TILE_WORDS];
+    loop {
+        level += 1;
+        next.fill(0);
+        for v in 0..n {
+            let base = v * words;
+            if frontier[base..base + words].iter().all(|&w| w == 0) {
+                continue;
+            }
+            fv[..words].copy_from_slice(&frontier[base..base + words]);
+            expanded += 1;
+            for &u in g.neighbors(v) {
+                let ub = u * words;
+                for (w, &f) in fv[..words].iter().enumerate() {
+                    next[ub + w] |= f;
+                }
+            }
+        }
+        let mut any = false;
+        for v in 0..n {
+            let base = v * words;
+            for w in 0..words {
+                let fresh = next[base + w] & !seen[base + w];
+                next[base + w] = fresh;
+                if fresh != 0 {
+                    seen[base + w] |= fresh;
+                    any = true;
+                    let mut bits = fresh;
+                    while bits != 0 {
+                        let i = w * 64 + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        out[i * n + v] = T::pack(level);
+                    }
+                }
+            }
+        }
+        if !any {
+            return expanded;
+        }
+        std::mem::swap(&mut frontier, &mut next);
+    }
+}
+
+/// Fills the matrix rows for sources `src0..src0 + count` with a
+/// *resolved* engine (never `Auto`), returning the frontier-expansion
+/// count. `out` must hold `count × n` cells. The workhorse behind
+/// [`Apsp::compute`], [`compute_band`] and the banded oracle.
+pub(crate) fn fill_rows<T: DistCell>(
+    g: &Graph,
+    engine: ApspEngine,
+    src0: NodeId,
+    count: usize,
+    out: &mut [T],
+) -> u64 {
+    let n = g.node_count();
+    let mut total = 0u64;
+    match engine {
+        ApspEngine::Queue => {
+            for (i, row) in out.chunks_mut(n.max(1)).take(count).enumerate() {
+                total += bfs_queue_into(g, src0 + i, row);
+            }
+        }
+        ApspEngine::Bitset => {
+            for (i, row) in out.chunks_mut(n.max(1)).take(count).enumerate() {
+                total += bfs_bitset_into(g, src0 + i, row);
+            }
+        }
+        ApspEngine::Tiled => {
+            let tile = ApspEngine::tile_sources(n);
+            let mut off = 0;
+            while off < count {
+                let c = tile.min(count - off);
+                total += msbfs_into(g, src0 + off, c, &mut out[off * n..(off + c) * n]);
+                off += c;
+            }
+        }
+        ApspEngine::Auto => unreachable!("fill_rows requires a resolved engine"),
+    }
+    total
 }
 
 /// Number of nodes reachable from `src` (including `src` itself), via a
@@ -282,23 +457,61 @@ pub fn configured_threads() -> usize {
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
 }
 
-/// All-pairs shortest-path distances, computed by `n` BFS traversals.
+/// Computes one horizontal band of the distance matrix: the rows of
+/// sources `start..start + rows`, at the graph's compact cell width,
+/// without materialising any other row. Peak memory is `rows × n` cells
+/// (plus the tiled engine's per-tile masks) — the streaming building
+/// block behind [`crate::oracle::BandedOracle`].
+///
+/// # Panics
+///
+/// Panics if `start + rows` exceeds the node count.
+#[must_use]
+pub fn compute_band(g: &Graph, start: NodeId, rows: usize, engine: ApspEngine) -> DistBand {
+    let n = g.node_count();
+    assert!(start + rows <= n, "band {start}..{} exceeds n = {n}", start + rows);
+    let engine = engine.resolve(g);
+    let width = crate::dist::width_for(g);
+    let _span = ort_telemetry::span_with(
+        "apsp.band",
+        &[
+            ("start", ort_telemetry::FieldValue::Int(start as u64)),
+            ("rows", ort_telemetry::FieldValue::Int(rows as u64)),
+            ("engine", ort_telemetry::FieldValue::Str(engine.name())),
+        ],
+    );
+    ort_telemetry::counter!("apsp.bands").incr();
+    let mut store = DistStore::unreachable(width, rows * n);
+    let expansions = match &mut store {
+        DistStore::U8(v) => fill_rows(g, engine, start, rows, v),
+        DistStore::U16(v) => fill_rows(g, engine, start, rows, v),
+        DistStore::U32(v) => fill_rows(g, engine, start, rows, v),
+    };
+    ort_telemetry::counter!("apsp.frontier_expansions").add(expansions);
+    DistBand::new(start, rows, n, store)
+}
+
+/// All-pairs shortest-path distances, computed by BFS traversals and
+/// stored at the narrowest cell width that fits the graph's diameter
+/// bound ([`crate::dist::width_for`]).
 ///
 /// # Example
 ///
 /// ```
-/// use ort_graphs::{generators, paths::Apsp};
+/// use ort_graphs::paths::Apsp;
+/// use ort_graphs::{dist::CellWidth, generators};
 ///
 /// let g = generators::cycle(6);
 /// let apsp = Apsp::compute(&g);
 /// assert_eq!(apsp.distance(0, 3), Some(3));
 /// assert_eq!(apsp.diameter(), Some(3));
+/// assert_eq!(apsp.cell_width(), CellWidth::U8); // diameter 3 fits a byte
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Apsp {
     n: usize,
-    /// Row-major distance matrix; `UNREACHABLE` encodes `None`.
-    dist: Vec<u32>,
+    /// Row-major distance matrix at the graph's compact width.
+    dist: DistStore,
 }
 
 impl Apsp {
@@ -349,19 +562,14 @@ impl Apsp {
         APSP_COMPUTES.fetch_add(1, Ordering::Relaxed);
         let n = g.node_count();
         let engine = engine.resolve(g);
+        let width = crate::dist::width_for(g);
         let _span = ort_telemetry::span_with(
             "apsp.compute",
             &[
                 ("n", ort_telemetry::FieldValue::Int(n as u64)),
                 ("threads", ort_telemetry::FieldValue::Int(threads as u64)),
-                (
-                    "engine",
-                    ort_telemetry::FieldValue::Str(match engine {
-                        ApspEngine::Queue => "queue",
-                        ApspEngine::Bitset => "bitset",
-                        ApspEngine::Auto => unreachable!("resolve() never returns Auto"),
-                    }),
-                ),
+                ("engine", ort_telemetry::FieldValue::Str(engine.name())),
+                ("width", ort_telemetry::FieldValue::Str(width.name())),
             ],
         );
         ort_telemetry::counter!("apsp.computes").incr();
@@ -369,53 +577,16 @@ impl Apsp {
         match engine {
             ApspEngine::Queue => ort_telemetry::counter!("apsp.engine.queue").incr(),
             ApspEngine::Bitset => ort_telemetry::counter!("apsp.engine.bitset").incr(),
+            ApspEngine::Tiled => ort_telemetry::counter!("apsp.engine.tiled").incr(),
             ApspEngine::Auto => unreachable!("resolve() never returns Auto"),
         }
-        let mut dist = vec![UNREACHABLE; n * n];
-        let fill = |src: NodeId, row: &mut [u32]| match engine {
-            ApspEngine::Queue => bfs_queue_into(g, src, row),
-            ApspEngine::Bitset => bfs_bitset_into(g, src, row),
-            ApspEngine::Auto => unreachable!("resolve() never returns Auto"),
-        };
-        // Frontier expansions are accumulated per worker and added to the
-        // counter in one batch: increments commute, so the total is the
-        // same under any thread count.
-        let expansions = ort_telemetry::counter!("apsp.frontier_expansions");
-        if threads <= 1 || n <= 1 {
-            let mut local = 0u64;
-            for (src, row) in dist.chunks_mut(n.max(1)).enumerate() {
-                local += fill(src, row);
-            }
-            expansions.add(local);
-            return Apsp { n, dist };
+        let mut store = DistStore::unreachable(width, n * n);
+        match &mut store {
+            DistStore::U8(v) => compute_cells(g, engine, threads, v),
+            DistStore::U16(v) => compute_cells(g, engine, threads, v),
+            DistStore::U32(v) => compute_cells(g, engine, threads, v),
         }
-        #[cfg(feature = "parallel")]
-        {
-            // Contiguous row blocks per thread: every thread owns a
-            // disjoint &mut slice of the matrix, so no synchronisation is
-            // needed and the bytes match the serial result exactly.
-            let ctx = ort_telemetry::Context::current();
-            let rows_per = n.div_ceil(threads.min(n));
-            std::thread::scope(|s| {
-                for (ci, chunk) in dist.chunks_mut(rows_per * n).enumerate() {
-                    let fill = &fill;
-                    let ctx = ctx.clone();
-                    s.spawn(move || {
-                        let _ctx = ctx.enter();
-                        let _span = ort_telemetry::span("apsp.worker");
-                        let mut local = 0u64;
-                        for (ri, row) in chunk.chunks_mut(n).enumerate() {
-                            local += fill(ci * rows_per + ri, row);
-                        }
-                        expansions.add(local);
-                    });
-                }
-            });
-        }
-        #[cfg(not(feature = "parallel"))]
-        unreachable!("threads is pinned to 1 without the `parallel` feature");
-        #[cfg(feature = "parallel")]
-        Apsp { n, dist }
+        Apsp { n, dist: store }
     }
 
     /// Wraps this matrix in a shared [`DistanceOracle`] handle.
@@ -430,11 +601,28 @@ impl Apsp {
         self.n
     }
 
-    /// The raw row-major distance matrix; [`UNREACHABLE`] encodes `None`.
-    /// Row `u` holds the distances from source `u`.
+    /// The cell width the matrix is stored at (see
+    /// [`crate::dist::width_for`]).
     #[must_use]
-    pub fn dist_matrix(&self) -> &[u32] {
-        &self.dist
+    pub fn cell_width(&self) -> CellWidth {
+        self.dist.width()
+    }
+
+    /// Heap bytes held by the distance cells — `n² ×`
+    /// [`CellWidth::bytes_per_cell`], the compact-storage figure the bench
+    /// metadata reports against the `4n²`-byte `u32` baseline.
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.dist.heap_bytes()
+    }
+
+    /// Materialises the matrix as a row-major `u32` vector
+    /// ([`UNREACHABLE`] encodes `None`; row `u` holds the distances from
+    /// source `u`). O(n²) allocation — for tests and cross-width
+    /// comparisons, not for hot paths.
+    #[must_use]
+    pub fn matrix_u32(&self) -> Vec<u32> {
+        self.dist.to_u32_vec()
     }
 
     /// Whether the underlying graph is connected (vacuously true for
@@ -444,7 +632,7 @@ impl Apsp {
     /// traversal.
     #[must_use]
     pub fn is_connected(&self) -> bool {
-        self.n <= 1 || self.dist[..self.n].iter().all(|&d| d != UNREACHABLE)
+        self.n <= 1 || (0..self.n).all(|v| self.dist.get(v) != UNREACHABLE)
     }
 
     /// Hop distance from `u` to `v`, or `None` if unreachable.
@@ -455,7 +643,7 @@ impl Apsp {
     #[must_use]
     pub fn distance(&self, u: NodeId, v: NodeId) -> Option<u32> {
         assert!(u < self.n && v < self.n, "node out of range");
-        match self.dist[u * self.n + v] {
+        match self.dist.get(u * self.n + v) {
             UNREACHABLE => None,
             d => Some(d),
         }
@@ -522,6 +710,42 @@ impl Apsp {
         }
         Some(path)
     }
+}
+
+/// Fills the whole matrix, fanning contiguous row blocks (whole tiles for
+/// the tiled engine, since a tile's sources are computed jointly) out
+/// across `threads` workers. Each worker writes a disjoint slice, so the
+/// cells are byte-identical to the serial fill.
+fn compute_cells<T: DistCell>(g: &Graph, engine: ApspEngine, threads: usize, data: &mut [T]) {
+    let n = g.node_count();
+    // Frontier expansions are accumulated per worker and added to the
+    // counter in one batch: increments commute, so the total is the
+    // same under any thread count.
+    let expansions = ort_telemetry::counter!("apsp.frontier_expansions");
+    if threads <= 1 || n <= 1 {
+        expansions.add(fill_rows(g, engine, 0, n, data));
+        return;
+    }
+    #[cfg(feature = "parallel")]
+    {
+        let unit = if engine == ApspEngine::Tiled { ApspEngine::tile_sources(n) } else { 1 };
+        let units = n.div_ceil(unit);
+        let rows_per = units.div_ceil(threads.min(units)) * unit;
+        let ctx = ort_telemetry::Context::current();
+        std::thread::scope(|s| {
+            for (ci, chunk) in data.chunks_mut(rows_per * n).enumerate() {
+                let ctx = ctx.clone();
+                s.spawn(move || {
+                    let _ctx = ctx.enter();
+                    let _span = ort_telemetry::span("apsp.worker");
+                    let rows = chunk.len() / n;
+                    expansions.add(fill_rows(g, engine, ci * rows_per, rows, chunk));
+                });
+            }
+        });
+    }
+    #[cfg(not(feature = "parallel"))]
+    unreachable!("threads is pinned to 1 without the `parallel` feature");
 }
 
 /// Naive Floyd–Warshall oracle used to cross-check [`Apsp`] in tests.
@@ -598,26 +822,68 @@ mod tests {
             for src in 0..g.node_count().min(4) {
                 let q = bfs_distances(&g, src, ApspEngine::Queue);
                 let b = bfs_distances(&g, src, ApspEngine::Bitset);
+                let t = bfs_distances(&g, src, ApspEngine::Tiled);
                 assert_eq!(q, b, "{name}, src {src}");
+                assert_eq!(q, t, "{name}, src {src} (tiled)");
                 let reference: Vec<_> = bfs(&g, src).0;
                 assert_eq!(q, reference, "{name}, src {src} vs reference");
             }
             let qa = Apsp::compute_serial_with_engine(&g, ApspEngine::Queue);
             let ba = Apsp::compute_serial_with_engine(&g, ApspEngine::Bitset);
-            assert_eq!(qa, ba, "{name}: engines disagree on the matrix");
+            let ta = Apsp::compute_serial_with_engine(&g, ApspEngine::Tiled);
+            assert_eq!(qa, ba, "{name}: queue and bitset disagree on the matrix");
+            assert_eq!(qa, ta, "{name}: queue and tiled disagree on the matrix");
         }
     }
 
     #[test]
-    fn auto_engine_tracks_density() {
+    fn tiled_spans_multiple_tiles_and_words() {
+        // n > 64 forces multi-word masks off; a 300-node path at an
+        // explicit tile size exercises tile boundaries inside fill_rows.
+        let g = generators::path(300);
+        let q = Apsp::compute_serial_with_engine(&g, ApspEngine::Queue);
+        let t = Apsp::compute_serial_with_engine(&g, ApspEngine::Tiled);
+        assert_eq!(q, t);
+        // Path of 300 nodes has distances up to 299: u16 cells.
+        assert_eq!(q.cell_width(), CellWidth::U16);
+        assert_eq!(q.heap_bytes(), 300 * 300 * 2);
+    }
+
+    #[test]
+    fn auto_engine_tracks_density_and_order() {
         assert_eq!(
             ApspEngine::Auto.resolve(&generators::complete(64)),
             ApspEngine::Bitset
         );
         assert_eq!(ApspEngine::Auto.resolve(&generators::grid(8, 8)), ApspEngine::Queue);
         assert_eq!(ApspEngine::Auto.resolve(&Graph::empty(0)), ApspEngine::Queue);
+        // Large sparse graphs resolve to the tiled engine.
+        assert_eq!(
+            ApspEngine::Auto.resolve(&generators::grid(40, 40)),
+            ApspEngine::Tiled
+        );
         // Explicit choices pass through untouched.
         assert_eq!(ApspEngine::Queue.resolve(&generators::complete(64)), ApspEngine::Queue);
+        assert_eq!(ApspEngine::Tiled.resolve(&generators::complete(64)), ApspEngine::Tiled);
+    }
+
+    #[test]
+    fn tile_sources_fit_the_cache_budget() {
+        // Small n: capped at 256 sources (4 words).
+        assert_eq!(ApspEngine::tile_sources(1024), 256);
+        // Large n: masks shrink to stay within the L2 budget.
+        assert_eq!(ApspEngine::tile_sources(16384), 64);
+        for n in [1usize, 100, 1024, 4096, 16384, 100_000] {
+            let words = ApspEngine::tile_sources(n) / 64;
+            assert!((1..=ApspEngine::MAX_TILE_WORDS).contains(&words));
+            // 3 arrays × n nodes × words × 8 bytes within budget — unless
+            // even the minimum one-word mask exceeds it (masks cannot
+            // shrink below one word).
+            assert!(
+                3 * n * words * 8 <= ApspEngine::TILE_L2_BUDGET_BYTES || words == 1,
+                "n={n}"
+            );
+        }
     }
 
     #[cfg(feature = "parallel")]
@@ -628,7 +894,37 @@ mod tests {
             let serial = Apsp::compute_serial(&g);
             for threads in [2, 3, 8, 100] {
                 let par = Apsp::compute_with_threads(&g, ApspEngine::Auto, threads);
-                assert_eq!(serial.dist_matrix(), par.dist_matrix(), "threads={threads}");
+                assert_eq!(serial, par, "threads={threads}");
+            }
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_tiled_matches_serial_bytes() {
+        // Sparse, larger than one tile, not tile-aligned: the thread
+        // chunking must stay on tile boundaries.
+        let g = generators::connected_gnp(300, 0.03, 2);
+        let serial = Apsp::compute_serial_with_engine(&g, ApspEngine::Tiled);
+        for threads in [2, 3, 5, 16] {
+            let par = Apsp::compute_with_threads(&g, ApspEngine::Tiled, threads);
+            assert_eq!(serial, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn band_matches_full_matrix() {
+        let g = generators::connected_gnp(90, 0.06, 7);
+        let full = Apsp::compute(&g);
+        for engine in [ApspEngine::Queue, ApspEngine::Bitset, ApspEngine::Tiled] {
+            let band = compute_band(&g, 30, 25, engine);
+            assert_eq!(band.start(), 30);
+            assert_eq!(band.rows(), 25);
+            assert_eq!(band.store().width(), full.cell_width());
+            for u in 30..55 {
+                for v in 0..90 {
+                    assert_eq!(band.distance(u, v), full.distance(u, v), "({u},{v})");
+                }
             }
         }
     }

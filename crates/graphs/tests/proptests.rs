@@ -126,13 +126,17 @@ proptest! {
         for src in g.nodes() {
             let q = bfs_distances(&g, src, ApspEngine::Queue);
             let b = bfs_distances(&g, src, ApspEngine::Bitset);
+            let t = bfs_distances(&g, src, ApspEngine::Tiled);
             prop_assert_eq!(&q, &b, "src {}", src);
+            prop_assert_eq!(&q, &t, "src {} (tiled)", src);
             let reference = bfs(&g, src).0;
             prop_assert_eq!(&q, &reference, "src {} vs parent-tracking bfs", src);
         }
         let qa = Apsp::compute_serial_with_engine(&g, ApspEngine::Queue);
         let ba = Apsp::compute_serial_with_engine(&g, ApspEngine::Bitset);
-        prop_assert_eq!(qa.dist_matrix(), ba.dist_matrix());
+        let ta = Apsp::compute_serial_with_engine(&g, ApspEngine::Tiled);
+        prop_assert_eq!(qa.matrix_u32(), ba.matrix_u32());
+        prop_assert_eq!(qa.matrix_u32(), ta.matrix_u32());
     }
 
     #[test]
@@ -156,7 +160,7 @@ proptest! {
         let g = generators::gnp_half(n, seed);
         let serial = Apsp::compute_serial(&g);
         let par = Apsp::compute_with_threads(&g, ApspEngine::Auto, threads);
-        prop_assert_eq!(serial.dist_matrix(), par.dist_matrix());
+        prop_assert_eq!(serial.matrix_u32(), par.matrix_u32());
     }
 
     #[test]

@@ -18,6 +18,7 @@
 
 use ort_bitio::{bits_to_index, BitReader, BitVec, BitWriter};
 use ort_graphs::labels::{Label, Labeling};
+use ort_graphs::oracle::{Distances, LandmarkOracle};
 use ort_graphs::paths::{Apsp, DistanceOracle};
 use ort_graphs::ports::PortAssignment;
 use ort_graphs::{Graph, NodeId};
@@ -97,17 +98,43 @@ impl LandmarkScheme {
         seed: u64,
         count: usize,
     ) -> Result<Self, SchemeError> {
+        Self::build_with_dists(g, &**oracle, seed, count)
+    }
+
+    /// As [`LandmarkScheme::build_with_oracle_and_landmark_count`] for any
+    /// *exact* [`Distances`] implementation — notably
+    /// [`ort_graphs::oracle::BandedOracle`], which builds the scheme
+    /// without ever holding the full `n²` matrix. Exact oracles all
+    /// produce byte-identical schemes (the trait's path helpers mirror
+    /// [`Apsp`]'s smallest-qualifying-neighbour rules).
+    ///
+    /// # Errors
+    ///
+    /// As [`LandmarkScheme::build_with_oracle_and_landmark_count`], plus a
+    /// precondition error for approximate oracles (use
+    /// [`LandmarkScheme::build_from_landmark_oracle`] for those).
+    pub fn build_with_dists(
+        g: &Graph,
+        dists: &dyn Distances,
+        seed: u64,
+        count: usize,
+    ) -> Result<Self, SchemeError> {
+        if !dists.is_exact() {
+            return Err(SchemeError::Precondition {
+                reason: "exact distances required; build_from_landmark_oracle handles approximate oracles"
+                    .into(),
+            });
+        }
         let n = g.node_count();
         if n < 2 {
             return Err(SchemeError::Precondition { reason: "need at least 2 nodes".into() });
         }
-        let apsp: &Apsp = oracle;
-        if apsp.node_count() != n {
+        if dists.node_count() != n {
             return Err(SchemeError::Precondition {
                 reason: "distance oracle does not match the graph".into(),
             });
         }
-        if !apsp.is_connected() {
+        if !dists.is_connected() {
             return Err(SchemeError::Disconnected);
         }
         let count = count.clamp(1, n);
@@ -129,11 +156,11 @@ impl LandmarkScheme {
                 if v == l {
                     continue;
                 }
-                let dv = apsp.distance(v, l).expect("connected");
+                let dv = dists.distance(v, l).expect("connected");
                 *port = g
                     .neighbors(v)
                     .iter()
-                    .position(|&x| apsp.distance(x, l) == Some(dv - 1))
+                    .position(|&x| dists.distance(x, l) == Some(dv - 1))
                     .expect("some neighbour is closer");
             }
             toward.push(ports_to_l);
@@ -143,7 +170,7 @@ impl LandmarkScheme {
         let mut radius = vec![u32::MAX; n];
         for v in 0..n {
             for (li, &l) in landmarks.iter().enumerate() {
-                let d = apsp.distance(v, l).expect("connected");
+                let d = dists.distance(v, l).expect("connected");
                 if d < radius[v] {
                     radius[v] = d;
                     nearest[v] = li;
@@ -154,16 +181,8 @@ impl LandmarkScheme {
         let mut labels = Vec::with_capacity(n);
         for v in 0..n {
             let l = landmarks[nearest[v]];
-            let path = apsp.shortest_path(g, l, v).expect("connected");
-            let mut w = BitWriter::new();
-            w.write_bits(v as u64, w_node)?;
-            w.write_bits(l as u64, w_node)?;
-            w.write_bits((path.len() - 1) as u64, w_node)?;
-            for hop in path.windows(2) {
-                let port = ports.port_to(hop[0], hop[1]).expect("edge on path");
-                w.write_bits(port as u64, w_node)?;
-            }
-            labels.push(w.finish());
+            let path = dists.shortest_path(g, l, v).expect("connected");
+            labels.push(Self::encode_label(&ports, v, l, &path, w_node)?);
         }
         // Node bits: [landmark ports][bunch count][bunch (id, port)...].
         let mut bits = Vec::with_capacity(n);
@@ -174,11 +193,11 @@ impl LandmarkScheme {
                 w.write_bits(port as u64, w_node)?;
             }
             let bunch: Vec<NodeId> = (0..n)
-                .filter(|&v| v != x && apsp.distance(x, v).expect("connected") < radius[x])
+                .filter(|&v| v != x && dists.distance(x, v).expect("connected") < radius[x])
                 .collect();
             w.write_bits(bunch.len() as u64, w_node)?;
             for v in bunch {
-                let hop = *apsp.shortest_path_ports(g, x, v).first().expect("reachable");
+                let hop = *dists.shortest_path_ports(g, x, v).first().expect("reachable");
                 let port = ports.port_to(x, hop).expect("neighbour");
                 w.write_bits(v as u64, w_node)?;
                 w.write_bits(port as u64, w_node)?;
@@ -188,6 +207,115 @@ impl LandmarkScheme {
         let labeling = Labeling::arbitrary(labels)
             .map_err(|_| SchemeError::Precondition { reason: "duplicate labels".into() })?;
         Ok(LandmarkScheme { bits, labeling, ports, landmarks })
+    }
+
+    /// Builds the scheme from a [`LandmarkOracle`] — `Õ(n^{3/2})` distance
+    /// cells instead of `n²`, the memory regime the approximate oracle
+    /// exists for. The oracle's own landmark set becomes the scheme's
+    /// (distances to landmarks are exact in the oracle, so toward-ports,
+    /// nearest landmarks and label paths are all exact); *bunches are
+    /// dropped* (every node routes deliver / neighbour / climb–descend),
+    /// so routes cost at most `d(u,v) + 2·r_v` hops instead of the
+    /// bunch-assisted optimum.
+    ///
+    /// # Errors
+    ///
+    /// As [`LandmarkScheme::build`], plus a precondition error on an
+    /// oracle/graph size mismatch.
+    pub fn build_from_landmark_oracle(
+        g: &Graph,
+        lo: &LandmarkOracle,
+    ) -> Result<Self, SchemeError> {
+        let n = g.node_count();
+        if n < 2 {
+            return Err(SchemeError::Precondition { reason: "need at least 2 nodes".into() });
+        }
+        if lo.node_count() != n {
+            return Err(SchemeError::Precondition {
+                reason: "distance oracle does not match the graph".into(),
+            });
+        }
+        if !lo.is_connected() {
+            return Err(SchemeError::Disconnected);
+        }
+        let landmarks = lo.landmarks().to_vec();
+        let count = landmarks.len();
+        let ports = PortAssignment::sorted(g);
+        let w_node = bits_to_index(n as u64);
+        // Toward-ports from the oracle's exact landmark rows.
+        let mut toward: Vec<Vec<usize>> = Vec::with_capacity(count);
+        for (li, &l) in landmarks.iter().enumerate() {
+            let mut ports_to_l = vec![0usize; n];
+            for (v, port) in ports_to_l.iter_mut().enumerate() {
+                if v == l {
+                    continue;
+                }
+                let dv = lo.landmark_distance(li, v).expect("connected");
+                *port = g
+                    .neighbors(v)
+                    .iter()
+                    .position(|&x| lo.landmark_distance(li, x) == Some(dv - 1))
+                    .expect("some neighbour is closer");
+            }
+            toward.push(ports_to_l);
+        }
+        // Labels: the path from v's nearest landmark down to v, recovered
+        // by descending the landmark's exact row from v (then reversed) —
+        // no all-pairs queries involved.
+        let mut labels = Vec::with_capacity(n);
+        for v in 0..n {
+            let li = lo.nearest(v).expect("connected graph has reachable landmarks");
+            let l = landmarks[li];
+            let mut rev = vec![v];
+            let mut cur = v;
+            while cur != l {
+                let d = lo.landmark_distance(li, cur).expect("connected");
+                cur = *g
+                    .neighbors(cur)
+                    .iter()
+                    .find(|&&x| lo.landmark_distance(li, x) == Some(d - 1))
+                    .expect("some neighbour is closer");
+                rev.push(cur);
+            }
+            rev.reverse();
+            labels.push(Self::encode_label(&ports, v, l, &rev, w_node)?);
+        }
+        // Node bits: landmark ports, then an empty bunch.
+        let mut writers: Vec<BitWriter> = (0..n).map(|_| BitWriter::new()).collect();
+        for (&l, row) in landmarks.iter().zip(&toward) {
+            for ((x, w), &port) in writers.iter_mut().enumerate().zip(row) {
+                let port = if x == l { 0 } else { port };
+                w.write_bits(port as u64, w_node)?;
+            }
+        }
+        let mut bits = Vec::with_capacity(n);
+        for mut w in writers {
+            w.write_bits(0, w_node)?; // bunch count
+            bits.push(w.finish());
+        }
+        let labeling = Labeling::arbitrary(labels)
+            .map_err(|_| SchemeError::Precondition { reason: "duplicate labels".into() })?;
+        Ok(LandmarkScheme { bits, labeling, ports, landmarks })
+    }
+
+    /// Encodes one γ label: `[v][l][path_len][path ports…]` where `path`
+    /// runs from the landmark `l` down to `v`.
+    fn encode_label(
+        ports: &PortAssignment,
+        v: NodeId,
+        l: NodeId,
+        path: &[NodeId],
+        w_node: u32,
+    ) -> Result<BitVec, SchemeError> {
+        let mut w = BitWriter::new();
+        w.write_bits(v as u64, w_node)?;
+        w.write_bits(l as u64, w_node)?;
+        w.write_bits((path.len() - 1) as u64, w_node)?;
+        for hop in path.windows(2) {
+            let port = ports.port_to(hop[0], hop[1]).expect("edge on path");
+            w.write_bits(port as u64, w_node)?;
+        }
+        Ok(w.finish())
     }
 
     /// The sampled landmark set.
@@ -409,6 +537,58 @@ mod tests {
             let apsp = Apsp::compute(&g);
             assert_eq!(path.len() as u32, apsp.distance(l, v).unwrap());
         }
+    }
+
+    #[test]
+    fn banded_build_is_byte_identical_to_full_matrix_build() {
+        use ort_graphs::oracle::BandedOracle;
+        let g = generators::gnp_half(28, 6);
+        let oracle = Apsp::compute(&g).into_oracle();
+        let from_apsp =
+            LandmarkScheme::build_with_oracle_and_landmark_count(&g, &oracle, 2, 6).unwrap();
+        let banded = BandedOracle::new(g.clone(), 7);
+        let from_band = LandmarkScheme::build_with_dists(&g, &banded, 2, 6).unwrap();
+        assert_eq!(from_apsp.landmarks(), from_band.landmarks());
+        for u in 0..28 {
+            assert_eq!(from_apsp.node_bits(u), from_band.node_bits(u), "node {u}");
+            assert_eq!(from_apsp.label_of(u), from_band.label_of(u), "label {u}");
+        }
+    }
+
+    #[test]
+    fn approximate_oracle_build_delivers_within_contract() {
+        use ort_graphs::oracle::LandmarkOracle;
+        for (g, name) in [
+            (generators::gnp_half(32, 3), "gnp"),
+            (generators::grid(5, 6), "grid"),
+            (generators::cycle(15), "cycle"),
+        ] {
+            let lo = LandmarkOracle::build(&g, 5);
+            let scheme = LandmarkScheme::build_from_landmark_oracle(&g, &lo).unwrap();
+            assert_eq!(scheme.landmarks(), lo.landmarks(), "{name}");
+            let report = verify_scheme(&g, &scheme).unwrap();
+            assert!(report.all_delivered(), "{name}: {:?}", report.failures.first());
+            // Bunch-free routes: every delivered pair stays within the
+            // climb-and-descend bound d(u,v) + 2·max r.
+            let max_r = (0..g.node_count()).map(|v| lo.radius(v).unwrap()).max().unwrap();
+            for &(hops, dist) in &report.stretches {
+                assert!(
+                    hops <= dist + 2 * max_r,
+                    "{name}: {hops} hops for distance {dist}, max radius {max_r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn approximate_build_rejected_on_exact_entry_point() {
+        use ort_graphs::oracle::LandmarkOracle;
+        let g = generators::gnp_half(16, 1);
+        let lo = LandmarkOracle::build(&g, 4);
+        assert!(matches!(
+            LandmarkScheme::build_with_dists(&g, &lo, 1, 4),
+            Err(SchemeError::Precondition { .. })
+        ));
     }
 
     #[test]

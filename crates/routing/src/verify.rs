@@ -9,6 +9,7 @@
 use std::error::Error;
 use std::fmt;
 
+use ort_graphs::oracle::Distances;
 use ort_graphs::paths::{Apsp, DistanceOracle};
 use ort_graphs::{Graph, NodeId};
 use ort_telemetry::trace::{HopKind, WalkTracer};
@@ -249,7 +250,7 @@ pub fn default_hop_limit(n: usize) -> usize {
 /// [`VerifyReport`], not as errors.
 pub fn verify_scheme(g: &Graph, scheme: &dyn RoutingScheme) -> Result<VerifyReport, SchemeError> {
     ort_telemetry::counter!("oracle.computed").incr();
-    let oracle = Apsp::compute(g).into_oracle();
+    let oracle = Apsp::compute(g);
     verify_with(g, scheme, &oracle, 1)
 }
 
@@ -268,7 +269,35 @@ pub fn verify_scheme_with_oracle(
     oracle: &DistanceOracle,
 ) -> Result<VerifyReport, SchemeError> {
     ort_telemetry::counter!("oracle.reused").incr();
-    verify_with(g, scheme, oracle, 1)
+    verify_with(g, scheme, &**oracle, 1)
+}
+
+/// As [`verify_scheme_with_oracle`] for any *exact*
+/// [`Distances`] implementation — in particular
+/// [`ort_graphs::oracle::BandedOracle`], which lets memory-bound runs
+/// verify without ever holding the full `n²` matrix. (Note the banded
+/// oracle serialises queries on a lock; combined with the verifier's
+/// source-order sweep this stays efficient, but a full matrix is faster
+/// when it fits.)
+///
+/// # Errors
+///
+/// Returns [`SchemeError::Precondition`] if the oracle is approximate
+/// (`!is_exact()` — stretch measured against estimates would be
+/// meaningless) or its node count does not match `g`, and
+/// [`SchemeError::Disconnected`] as [`verify_scheme`].
+pub fn verify_scheme_with_dists(
+    g: &Graph,
+    scheme: &dyn RoutingScheme,
+    dists: &dyn Distances,
+) -> Result<VerifyReport, SchemeError> {
+    if !dists.is_exact() {
+        return Err(SchemeError::Precondition {
+            reason: "stretch verification requires an exact distance oracle".into(),
+        });
+    }
+    ort_telemetry::counter!("oracle.reused").incr();
+    verify_with(g, scheme, dists, 1)
 }
 
 /// Verifies a sampled subset of pairs (for large graphs): every pair
@@ -283,7 +312,7 @@ pub fn verify_scheme_sampled(
     stride: usize,
 ) -> Result<VerifyReport, SchemeError> {
     ort_telemetry::counter!("oracle.computed").incr();
-    let oracle = Apsp::compute(g).into_oracle();
+    let oracle = Apsp::compute(g);
     verify_with(g, scheme, &oracle, stride)
 }
 
@@ -300,7 +329,7 @@ pub fn verify_scheme_sampled_with_oracle(
     stride: usize,
 ) -> Result<VerifyReport, SchemeError> {
     ort_telemetry::counter!("oracle.reused").incr();
-    verify_with(g, scheme, oracle, stride)
+    verify_with(g, scheme, &**oracle, stride)
 }
 
 /// Shared pair loop: full verification is the `stride == 1` case. The
@@ -310,7 +339,7 @@ pub fn verify_scheme_sampled_with_oracle(
 fn verify_with(
     g: &Graph,
     scheme: &dyn RoutingScheme,
-    apsp: &Apsp,
+    apsp: &dyn Distances,
     stride: usize,
 ) -> Result<VerifyReport, SchemeError> {
     let n = g.node_count();
@@ -503,6 +532,34 @@ mod tests {
         // And re-routing it reproduces the hop count.
         let path = route_pair(&scheme, s, t, default_hop_limit(24)).unwrap();
         assert_eq!((path.len() - 1) as u32, h);
+    }
+
+    #[test]
+    fn banded_oracle_verification_matches_full_matrix() {
+        use crate::schemes::full_table::FullTableScheme;
+        use ort_graphs::oracle::BandedOracle;
+        let g = ort_graphs::generators::gnp_half(24, 9);
+        let scheme = FullTableScheme::build(&g).unwrap();
+        let full = verify_scheme(&g, &scheme).unwrap();
+        let banded = BandedOracle::new(g.clone(), 5);
+        let report = verify_scheme_with_dists(&g, &scheme, &banded).unwrap();
+        assert_eq!(report.delivered, full.delivered);
+        assert_eq!(report.total_hops, full.total_hops);
+        assert_eq!(report.worst, full.worst);
+        assert_eq!(report.max_stretch(), full.max_stretch());
+    }
+
+    #[test]
+    fn approximate_oracle_is_rejected_for_verification() {
+        use crate::schemes::full_table::FullTableScheme;
+        use ort_graphs::oracle::LandmarkOracle;
+        let g = ort_graphs::generators::gnp_half(16, 2);
+        let scheme = FullTableScheme::build(&g).unwrap();
+        let lo = LandmarkOracle::build(&g, 4);
+        assert!(matches!(
+            verify_scheme_with_dists(&g, &scheme, &lo),
+            Err(SchemeError::Precondition { .. })
+        ));
     }
 
     #[test]

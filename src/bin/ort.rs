@@ -5,6 +5,7 @@
 //! ort build   <scheme> <n> <seed>         build a scheme, print size & stretch
 //! ort route   <scheme> <n> <seed> <s> <t> route one message, print the path
 //! ort profile <scheme> [--n N] [--seed S] instrumented run: spans + bit accounting
+//! ort bench [--out p] [--max-n N]         APSP engine snapshot (dense + sparse)
 //! ort bench-gate [--record]               bit-drift + perf-regression gate
 //! ort conformance [out.json]              run the full conformance suite
 //! ort resilience  [--verbose] [out.json]  fault-intensity sweep over all schemes
@@ -41,6 +42,7 @@ fn usage() -> ExitCode {
     eprintln!("  ort build   <scheme> <n> <seed>");
     eprintln!("  ort route   <scheme> <n> <seed> <src> <dst>");
     eprintln!("  ort profile <scheme> [--n N] [--seed S]  (default n=128 seed=1)");
+    eprintln!("  ort bench   [--out p] [--max-n N]        (default results/BENCH_apsp.json)");
     eprintln!("  ort bench-gate [--record] [--baseline p] [--bench p]");
     eprintln!("  ort save    <scheme> <n> <seed> <file>   (snapshot-capable schemes)");
     eprintln!("  ort load    <file> <src> <dst>");
@@ -148,6 +150,25 @@ fn run() -> Result<(), String> {
             }
             let report = profile::run_profile(&name, n, seed)?;
             print!("{}", report.text);
+            Ok(())
+        }
+        Some("bench") => {
+            use optimal_routing_tables::bench;
+            let (flags, positional) = parse_flags(&args[1..], &["out", "max-n"])?;
+            if !positional.is_empty() {
+                return Err(format!("unexpected argument '{}'", positional[0]));
+            }
+            let mut opts = bench::BenchOptions::default();
+            for (flag, value) in flags {
+                match flag.as_str() {
+                    "out" => opts.out_path = value,
+                    "max-n" => opts.max_n = value.parse().map_err(|_| "invalid --max-n")?,
+                    _ => unreachable!("parse_flags filters"),
+                }
+            }
+            let out = opts.out_path.clone();
+            let records = bench::run(&opts)?;
+            print!("{}", bench::summary(&records, &out));
             Ok(())
         }
         Some("bench-gate") => {

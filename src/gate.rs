@@ -17,7 +17,10 @@
 //!   re-times the default engine against the queue-serial baseline on
 //!   the same graph and fails if the normalized default-engine time
 //!   (default ms / queue ms, machine speed cancels) regressed by more
-//!   than the tolerance.
+//!   than the tolerance. The large-`n` sparse regime gets the same
+//!   treatment at `n = 4096` (tiled vs queue), plus two static checks on
+//!   the snapshot itself: tiled must beat bitset, and the compact store's
+//!   peak bytes must stay at least 2x below the `u32` full matrix.
 //!
 //! `record` writes a fresh baseline; `check` compares and reports.
 
@@ -407,6 +410,103 @@ fn check_apsp_snapshot(doc: &Json, tolerance: f64, report: &mut GateReport) {
     }
 }
 
+/// Checks the large-`n` sparse regime against the snapshot at `n = 4096`.
+///
+/// Static (snapshot-only) checks first: the tiled engine must beat the
+/// bitset engine on the checked-in numbers, and the compact distance
+/// store must hold the memory contract (peak oracle bytes at least 2x
+/// below the historical `u32` full matrix). Then one fresh measurement:
+/// the tiled/queue serial ratio on the same sparse power-law graph,
+/// compared to the snapshot's ratio — both engines single-threaded, so
+/// host speed cancels in the quotient.
+fn check_apsp_scale(doc: &Json, tolerance: f64, report: &mut GateReport) {
+    const N: usize = 4096;
+    let results = doc.get("results").and_then(Json::as_arr);
+    let rec = |engine: &str| -> Option<&Json> {
+        results?.iter().find(|r| {
+            r.get("engine").and_then(Json::as_str) == Some(engine)
+                && r.get("n").and_then(Json::as_i64) == Some(N as i64)
+        })
+    };
+    let (Some(queue), Some(bitset), Some(tiled)) =
+        (rec("queue_serial"), rec("bitset_serial"), rec("tiled_serial"))
+    else {
+        report.failures.push(format!(
+            "apsp scale: no n={N} sparse queue/bitset/tiled entries in the snapshot — \
+             regenerate with `ort bench`"
+        ));
+        return;
+    };
+    let ms = |r: &Json| r.get("ms").and_then(Json::as_f64);
+    let (Some(base_queue), Some(base_bitset), Some(base_tiled)) =
+        (ms(queue), ms(bitset), ms(tiled))
+    else {
+        report.failures.push(format!("apsp scale: an n={N} sparse entry is missing 'ms'"));
+        return;
+    };
+    if base_tiled >= base_bitset {
+        report.failures.push(format!(
+            "apsp scale: snapshot shows tiled ({base_tiled:.1} ms) not beating bitset \
+             ({base_bitset:.1} ms) at n={N} sparse — the tiled engine lost its regime"
+        ));
+    }
+    if let Some(peak) = tiled.get("peak_bytes").and_then(Json::as_i64) {
+        let u32_full = (N * N * 4) as i64;
+        if peak * 2 > u32_full {
+            report.failures.push(format!(
+                "apsp scale: tiled peak {peak} B exceeds half the u32 full matrix \
+                 ({u32_full} B) at n={N} — the compact-store memory contract broke"
+            ));
+        } else {
+            report.lines.push(format!(
+                "apsp scale: compact store holds {:.1}x below the u32 matrix at n={N}",
+                u32_full as f64 / peak as f64
+            ));
+        }
+    } else {
+        report.failures.push(format!("apsp scale: tiled n={N}: missing 'peak_bytes'"));
+    }
+
+    let _span = ort_telemetry::span("gate.apsp_scale");
+    let g = generators::power_law_seeded(
+        N,
+        crate::bench::SPARSE_M,
+        crate::bench::SPARSE_GAMMA,
+        crate::bench::BENCH_SEED,
+    );
+    // Same interleave-and-take-the-min-ratio discipline as the dense
+    // check: each pair shares one load phase, the min picks the calmest.
+    let mut fresh_norm = f64::INFINITY;
+    let mut fresh_queue = f64::INFINITY;
+    let mut fresh_tiled = f64::INFINITY;
+    drop(std::hint::black_box(Apsp::compute_serial_with_engine(&g, ApspEngine::Tiled)));
+    for _ in 0..3 {
+        let q = best_ms(
+            || drop(std::hint::black_box(Apsp::compute_serial_with_engine(&g, ApspEngine::Queue))),
+            1,
+        );
+        let t = best_ms(
+            || drop(std::hint::black_box(Apsp::compute_serial_with_engine(&g, ApspEngine::Tiled))),
+            1,
+        );
+        fresh_queue = fresh_queue.min(q);
+        fresh_tiled = fresh_tiled.min(t);
+        fresh_norm = fresh_norm.min(t / q);
+    }
+    let base_norm = base_tiled / base_queue;
+    report.lines.push(format!(
+        "apsp n={N} sparse: tiled/queue serial ratio baseline {base_norm:.4}, fresh \
+         {fresh_norm:.4} (best queue {fresh_queue:.3} ms, best tiled {fresh_tiled:.3} ms)"
+    ));
+    if fresh_norm > base_norm * (1.0 + tolerance) {
+        report.failures.push(format!(
+            "apsp n={N} sparse: tiled engine regressed {:.0}% vs queue baseline (tolerance {:.0}%)",
+            (fresh_norm / base_norm - 1.0) * 100.0,
+            tolerance * 100.0
+        ));
+    }
+}
+
 /// The full gate: loads the baseline (and, when given, the APSP
 /// snapshot), re-measures, and compares.
 ///
@@ -438,6 +538,7 @@ pub fn check(baseline_path: &str, bench_path: Option<&str>) -> Result<GateReport
             std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         let bench = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
         check_apsp_snapshot(&bench, cfg.tolerance, &mut report);
+        check_apsp_scale(&bench, cfg.tolerance, &mut report);
     }
     Ok(report)
 }

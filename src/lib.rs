@@ -22,6 +22,9 @@
 //!
 //! Four CLI-facing modules live in this crate directly:
 //!
+//! * [`bench`] — the APSP engine snapshot behind `ort bench` and
+//!   `results/BENCH_apsp.json` (dense + sparse large-`n` workloads, with
+//!   tile size, cell width and peak oracle bytes per record).
 //! * [`profile`] — the instrumented single-scheme run behind
 //!   `ort profile` (span tree, counters, per-node bit accounting).
 //! * [`gate`] — the bit-drift and perf-regression gate behind
@@ -60,6 +63,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod bench;
 pub mod gate;
 pub mod profile;
 pub mod sweep;

@@ -29,7 +29,7 @@ fn apsp_and_verification_are_thread_count_invariant() {
         std::env::set_var("ORT_THREADS", threads);
 
         let apsp = Apsp::compute(&g);
-        dist_matrices.push(apsp.dist_matrix().to_vec());
+        dist_matrices.push(apsp.matrix_u32());
         let oracle = apsp.into_oracle();
 
         let ft = FullTableScheme::build_with_oracle(&g, &oracle).expect("full table");

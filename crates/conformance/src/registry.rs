@@ -6,6 +6,7 @@
 //! cross-checked on every graph — adding a scheme without registering it
 //! here fails the `registry_covers_every_snapshot_kind` test below.
 
+use ort_graphs::oracle::Distances;
 use ort_graphs::paths::DistanceOracle;
 use ort_graphs::ports::PortAssignment;
 use ort_graphs::Graph;
@@ -143,26 +144,55 @@ impl SchemeId {
         g: &Graph,
         oracle: &DistanceOracle,
     ) -> Result<Box<dyn RoutingScheme>, SchemeError> {
+        self.build_with_dists(g, &**oracle)
+    }
+
+    /// As [`SchemeId::build`] for any *exact* [`Distances`] implementation
+    /// — notably [`ort_graphs::oracle::BandedOracle`], under which every
+    /// registered scheme builds with peak distance memory of one band.
+    /// Exact oracles all produce byte-identical schemes (the
+    /// `builder_bands` differential harness proves this against
+    /// [`SchemeId::build`] across band widths and thread counts).
+    ///
+    /// # Errors
+    ///
+    /// As [`SchemeId::build`], plus [`SchemeError::ApproximateOracle`]
+    /// for inexact oracles and a precondition error on an oracle/graph
+    /// size mismatch.
+    pub fn build_with_dists(
+        self,
+        g: &Graph,
+        dists: &dyn Distances,
+    ) -> Result<Box<dyn RoutingScheme>, SchemeError> {
         Ok(match self {
-            SchemeId::FullTable => Box::new(FullTableScheme::build_with_oracle(g, oracle)?),
+            SchemeId::FullTable => Box::new(FullTableScheme::build_with_dists(g, dists)?),
+            SchemeId::Theorem1 => Box::new(Theorem1Scheme::build_with_dists(g, dists)?),
+            SchemeId::Theorem1Ib => Box::new(Theorem1Scheme::build_ib_with_dists(g, dists)?),
+            SchemeId::Theorem2 => Box::new(Theorem2Scheme::build_with_dists(g, dists)?),
+            SchemeId::Theorem3 => Box::new(Theorem3Scheme::build_with_dists(g, dists)?),
+            SchemeId::Theorem4 => Box::new(Theorem4Scheme::build_with_dists(g, dists)?),
+            SchemeId::Theorem5 => Box::new(Theorem5Scheme::build_with_dists(g, dists)?),
             SchemeId::FullInformation => {
-                Box::new(FullInformationScheme::build_with_oracle(g, oracle)?)
+                Box::new(FullInformationScheme::build_with_dists(g, dists)?)
             }
+            SchemeId::Interval => Box::new(IntervalScheme::build_with_dists(g, dists)?),
             SchemeId::MultiInterval => {
-                Box::new(MultiIntervalScheme::build_with_oracle(g, oracle)?)
+                Box::new(MultiIntervalScheme::build_with_dists(g, dists)?)
             }
             SchemeId::Landmark => {
                 // Same default landmark count as `LandmarkScheme::build`.
                 let n = g.node_count();
                 let count = ((n as f64) * (n.max(2) as f64).log2()).sqrt().ceil() as usize;
-                Box::new(LandmarkScheme::build_with_oracle_and_landmark_count(
+                Box::new(LandmarkScheme::build_with_dists(
                     g,
-                    oracle,
+                    dists,
                     LANDMARK_SEED,
                     count.clamp(1, n),
                 )?)
             }
-            other => other.build(g)?,
+            SchemeId::IaCompact => {
+                Box::new(IaCompactScheme::build_with_dists(g, PortAssignment::sorted(g), dists)?)
+            }
         })
     }
 

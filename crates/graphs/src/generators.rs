@@ -68,6 +68,17 @@ pub fn gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Graph {
     g
 }
 
+/// Samples `G(n, m)` from a fixed seed (see [`gnm`]).
+///
+/// # Panics
+///
+/// Panics if `m > n(n-1)/2`.
+#[must_use]
+pub fn gnm_seeded(n: usize, m: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    gnm(n, m, &mut rng)
+}
+
 /// The complete graph `K_n`.
 #[must_use]
 pub fn complete(n: usize) -> Graph {

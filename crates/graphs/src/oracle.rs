@@ -57,6 +57,13 @@ pub trait Distances: Send + Sync {
         true
     }
 
+    /// A short human-readable name for this oracle, used by error
+    /// messages that must say *which* distance source was rejected
+    /// (e.g. `SchemeError::ApproximateOracle` in `ort-routing`).
+    fn describe(&self) -> &'static str {
+        "distance oracle"
+    }
+
     /// Peak heap bytes of distance cells the oracle holds at any moment —
     /// the memory figure the bench metadata reports.
     fn peak_bytes(&self) -> usize;
@@ -102,6 +109,25 @@ pub trait Distances: Send + Sync {
         }
         Some(path)
     }
+
+    /// The smallest-id neighbour of `u` on a shortest path to `v`,
+    /// computed from **row `v` only**: distances are symmetric on
+    /// undirected graphs, so `w` qualifies iff
+    /// `d(v, w) == d(v, u) − 1`. Equal to
+    /// `shortest_path_ports(g, u, v).first()` for every exact oracle,
+    /// but band-friendly — a [`BandedOracle`] answers an entire sweep
+    /// `{first_hop_toward(·, u, v) : u ∈ V}` from the single band
+    /// containing `v`, which is what lets scheme builders stream
+    /// destinations band by band instead of thrashing on neighbour rows.
+    /// `None` when `u == v` or `v` is unreachable. Only meaningful when
+    /// [`Distances::is_exact`] holds.
+    fn first_hop_toward(&self, g: &Graph, u: NodeId, v: NodeId) -> Option<NodeId> {
+        if u == v {
+            return None;
+        }
+        let duv = self.distance(v, u)?;
+        g.neighbors(u).iter().copied().find(|&w| self.distance(v, w) == Some(duv - 1))
+    }
 }
 
 impl Distances for Apsp {
@@ -111,6 +137,10 @@ impl Distances for Apsp {
 
     fn distance(&self, u: NodeId, v: NodeId) -> Option<u32> {
         Apsp::distance(self, u, v)
+    }
+
+    fn describe(&self) -> &'static str {
+        "full-matrix APSP oracle"
     }
 
     fn peak_bytes(&self) -> usize {
@@ -227,6 +257,10 @@ impl Distances for BandedOracle {
             st.bands_computed += 1;
         }
         st.band.as_ref().expect("band just computed").distance(u, v)
+    }
+
+    fn describe(&self) -> &'static str {
+        "banded streaming oracle"
     }
 
     fn peak_bytes(&self) -> usize {
@@ -413,6 +447,10 @@ impl Distances for LandmarkOracle {
         false
     }
 
+    fn describe(&self) -> &'static str {
+        "approximate landmark oracle"
+    }
+
     fn peak_bytes(&self) -> usize {
         self.rows.heap_bytes()
     }
@@ -480,6 +518,38 @@ mod tests {
         // Revisiting an earlier band recomputes it — streaming, not caching.
         let _ = oracle.distance(0, 1);
         assert_eq!(oracle.bands_computed(), 50u64.div_ceil(8) + 1);
+    }
+
+    #[test]
+    fn first_hop_toward_matches_shortest_path_ports() {
+        for g in [
+            generators::connected_gnp(40, 0.1, 4),
+            generators::grid(4, 5),
+            Graph::from_edges(7, [(0, 1), (1, 2), (4, 5)]).unwrap(),
+        ] {
+            let n = g.node_count();
+            let apsp = Apsp::compute(&g);
+            let banded = BandedOracle::new(g.clone(), 5);
+            for u in 0..n {
+                for v in 0..n {
+                    let expect = if u == v {
+                        None
+                    } else {
+                        apsp.shortest_path_ports(&g, u, v).first().copied()
+                    };
+                    assert_eq!(Distances::first_hop_toward(&apsp, &g, u, v), expect, "({u},{v})");
+                    assert_eq!(banded.first_hop_toward(&g, u, v), expect, "banded ({u},{v})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oracles_describe_themselves() {
+        let g = generators::cycle(5);
+        assert_eq!(Distances::describe(&Apsp::compute(&g)), "full-matrix APSP oracle");
+        assert_eq!(BandedOracle::new(g.clone(), 2).describe(), "banded streaming oracle");
+        assert_eq!(LandmarkOracle::build(&g, 1).describe(), "approximate landmark oracle");
     }
 
     #[test]

@@ -40,6 +40,15 @@ pub enum SchemeError {
         /// The offending node.
         node: NodeId,
     },
+    /// An approximate distance oracle was supplied where exact shortest-
+    /// path distances are required (scheme construction and stretch
+    /// verification both compare against true distances). Carries the
+    /// rejected oracle's self-description
+    /// ([`ort_graphs::oracle::Distances::describe`]).
+    ApproximateOracle {
+        /// The rejected oracle's name.
+        oracle: &'static str,
+    },
 }
 
 impl fmt::Display for SchemeError {
@@ -50,6 +59,9 @@ impl fmt::Display for SchemeError {
             SchemeError::Code(e) => write!(f, "decoding error: {e}"),
             SchemeError::Graph(e) => write!(f, "graph error: {e}"),
             SchemeError::NodeOutOfRange { node } => write!(f, "node {node} out of range"),
+            SchemeError::ApproximateOracle { oracle } => {
+                write!(f, "{oracle} is approximate: exact shortest-path distances are required")
+            }
         }
     }
 }

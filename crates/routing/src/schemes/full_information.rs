@@ -10,7 +10,8 @@
 
 use ort_bitio::{BitReader, BitVec, BitWriter};
 use ort_graphs::labels::{Label, Labeling};
-use ort_graphs::paths::{Apsp, DistanceOracle};
+use ort_graphs::oracle::Distances;
+use ort_graphs::paths::DistanceOracle;
 use ort_graphs::ports::PortAssignment;
 use ort_graphs::{Graph, NodeId};
 
@@ -50,7 +51,7 @@ impl FullInformationScheme {
     ///
     /// Returns [`SchemeError::Disconnected`] if `g` is disconnected.
     pub fn build(g: &Graph) -> Result<Self, SchemeError> {
-        let oracle = Apsp::compute(g).into_oracle();
+        let oracle = crate::schemes::shared_oracle(g);
         Self::build_with_oracle(g, &oracle)
     }
 
@@ -63,29 +64,44 @@ impl FullInformationScheme {
     /// As [`FullInformationScheme::build`], plus a precondition error on an
     /// oracle/graph size mismatch.
     pub fn build_with_oracle(g: &Graph, oracle: &DistanceOracle) -> Result<Self, SchemeError> {
+        Self::build_with_dists(g, &**oracle)
+    }
+
+    /// As [`FullInformationScheme::build`] for any *exact* [`Distances`]
+    /// implementation — notably [`ort_graphs::oracle::BandedOracle`].
+    ///
+    /// Band-streamed: the outer loop walks destinations ascending; for a
+    /// destination `t` and node `u`, neighbour `v` of `u` lies on a
+    /// shortest `u → t` path iff `d(t, v) == d(t, u) − 1` — both read off
+    /// `t`'s oracle row (distances are symmetric), so a banded oracle's
+    /// peak distance memory is one band. Per node, masks are still
+    /// appended in ascending non-neighbour order, so the bits match the
+    /// historical per-node construction exactly.
+    ///
+    /// # Errors
+    ///
+    /// As [`FullInformationScheme::build`], plus
+    /// [`SchemeError::ApproximateOracle`] for inexact oracles and a
+    /// precondition error on an oracle/graph size mismatch.
+    pub fn build_with_dists(g: &Graph, dists: &dyn Distances) -> Result<Self, SchemeError> {
+        crate::schemes::check_exact_oracle(g, dists)?;
         let n = g.node_count();
-        let apsp: &Apsp = oracle;
-        if apsp.node_count() != n {
-            return Err(SchemeError::Precondition {
-                reason: "distance oracle does not match the graph".into(),
-            });
-        }
-        if !apsp.is_connected() {
-            return Err(SchemeError::Disconnected);
-        }
         let ports = PortAssignment::sorted(g);
-        let mut bits = Vec::with_capacity(n);
-        for u in 0..n {
-            let mut w = BitWriter::new();
-            // One d(u)-bit mask per non-neighbour destination, ascending.
-            for t in g.non_neighbors(u) {
-                let on_shortest = apsp.shortest_path_ports(g, u, t);
+        let mut writers: Vec<BitWriter> = (0..n).map(|_| BitWriter::new()).collect();
+        for t in 0..n {
+            for (u, w) in writers.iter_mut().enumerate() {
+                // One d(u)-bit mask per non-neighbour destination; the
+                // outer ascending-t loop preserves the per-node order.
+                if t == u || g.has_edge(u, t) {
+                    continue;
+                }
+                let dut = dists.distance(t, u).expect("connected") - 1;
                 for &v in g.neighbors(u) {
-                    w.write_bit(on_shortest.binary_search(&v).is_ok());
+                    w.write_bit(dists.distance(t, v) == Some(dut));
                 }
             }
-            bits.push(w.finish());
         }
+        let bits = writers.into_iter().map(BitWriter::finish).collect();
         Ok(FullInformationScheme { bits, labeling: Labeling::identity(n), ports })
     }
 }
@@ -191,6 +207,7 @@ mod tests {
     use crate::scheme::RoutingScheme;
     use crate::verify::verify_scheme;
     use ort_graphs::generators;
+    use ort_graphs::paths::Apsp;
 
     #[test]
     fn shortest_path_on_assorted_graphs() {

@@ -8,7 +8,8 @@
 
 use ort_bitio::{bits_to_index, BitReader, BitVec, BitWriter};
 use ort_graphs::labels::{Label, Labeling};
-use ort_graphs::paths::{Apsp, DistanceOracle};
+use ort_graphs::oracle::Distances;
+use ort_graphs::paths::DistanceOracle;
 use ort_graphs::ports::PortAssignment;
 use ort_graphs::{Graph, NodeId};
 
@@ -90,8 +91,29 @@ impl FullTableScheme {
         ports: PortAssignment,
         labeling: Labeling,
     ) -> Result<Self, SchemeError> {
-        let oracle = Apsp::compute(g).into_oracle();
+        let oracle = crate::schemes::shared_oracle(g);
         Self::build_with_parts(g, model, ports, labeling, &oracle)
+    }
+
+    /// As [`FullTableScheme::build`] for any *exact* [`Distances`]
+    /// implementation — notably [`ort_graphs::oracle::BandedOracle`],
+    /// which builds the table with peak distance memory of one band. All
+    /// exact oracles produce byte-identical schemes.
+    ///
+    /// # Errors
+    ///
+    /// As [`FullTableScheme::build`], plus
+    /// [`SchemeError::ApproximateOracle`] for inexact oracles and a
+    /// precondition error on an oracle/graph size mismatch.
+    pub fn build_with_dists(g: &Graph, dists: &dyn Distances) -> Result<Self, SchemeError> {
+        let model = Model::new(Knowledge::NeighborsKnown, Relabeling::None);
+        Self::build_with_dists_parts(
+            g,
+            model,
+            PortAssignment::sorted(g),
+            Labeling::identity(g.node_count()),
+            dists,
+        )
     }
 
     /// Fully explicit constructor: model, ports, labelling *and* distance
@@ -109,43 +131,57 @@ impl FullTableScheme {
         labeling: Labeling,
         oracle: &DistanceOracle,
     ) -> Result<Self, SchemeError> {
+        Self::build_with_dists_parts(g, model, ports, labeling, &**oracle)
+    }
+
+    /// As [`FullTableScheme::build_with_parts`] for any exact
+    /// [`Distances`] implementation.
+    ///
+    /// The table loop is *band-streamed*: the outer loop walks
+    /// destination labels ascending (= source-band order under α
+    /// labels) and appends one port to every node's writer per
+    /// destination, reading first hops from the destination's oracle row
+    /// alone ([`Distances::first_hop_toward`]). Per-node append order is
+    /// unchanged from the historical per-node loop, so the bits are
+    /// identical; peak distance memory with a banded oracle is one band.
+    ///
+    /// # Errors
+    ///
+    /// As [`FullTableScheme::build_with`], plus
+    /// [`SchemeError::ApproximateOracle`] for inexact oracles and a
+    /// precondition error on an oracle/graph size mismatch.
+    pub fn build_with_dists_parts(
+        g: &Graph,
+        model: Model,
+        ports: PortAssignment,
+        labeling: Labeling,
+        dists: &dyn Distances,
+    ) -> Result<Self, SchemeError> {
         if labeling.is_charged() {
             return Err(SchemeError::Precondition {
                 reason: "full table requires minimal (α/β) labels".into(),
             });
         }
-        let apsp: &Apsp = oracle;
-        if apsp.node_count() != g.node_count() {
-            return Err(SchemeError::Precondition {
-                reason: "distance oracle does not match the graph".into(),
-            });
-        }
-        if !apsp.is_connected() {
-            return Err(SchemeError::Disconnected);
-        }
+        crate::schemes::check_exact_oracle(g, dists)?;
         let n = g.node_count();
-        let mut bits = Vec::with_capacity(n);
-        for u in 0..n {
-            let width = bits_to_index(g.degree(u) as u64);
-            let mut w = BitWriter::with_capacity((n - 1) * width as usize);
-            let own_label = match labeling.label_of(u) {
-                Label::Minimal(l) => l,
-                Label::Bits(_) => unreachable!("charged labelling rejected above"),
-            };
-            for dest_label in 0..n {
-                if dest_label == own_label {
+        let widths: Vec<u32> = (0..n).map(|u| bits_to_index(g.degree(u) as u64)).collect();
+        let mut writers: Vec<BitWriter> = widths
+            .iter()
+            .map(|&w| BitWriter::with_capacity((n - 1) * w as usize))
+            .collect();
+        for dest_label in 0..n {
+            let t = labeling.node_of_minimal(dest_label).expect("minimal labels cover 0..n");
+            for (u, w) in writers.iter_mut().enumerate() {
+                if u == t {
                     continue;
                 }
-                let t = labeling.node_of_minimal(dest_label).expect("minimal labels cover 0..n");
-                let hop = *apsp
-                    .shortest_path_ports(g, u, t)
-                    .first()
-                    .expect("connected graph has a next hop");
+                let hop =
+                    dists.first_hop_toward(g, u, t).expect("connected graph has a next hop");
                 let port = ports.port_to(u, hop).expect("hop is a neighbour");
-                w.write_bits(port as u64, width)?;
+                w.write_bits(port as u64, widths[u])?;
             }
-            bits.push(w.finish());
         }
+        let bits = writers.into_iter().map(BitWriter::finish).collect();
         Ok(FullTableScheme { model, bits, labeling, ports })
     }
 }

@@ -68,6 +68,34 @@ impl IaCompactScheme {
         if !ort_graphs::paths::is_connected(g) {
             return Err(SchemeError::Disconnected);
         }
+        Self::build_checked(g, ports)
+    }
+
+    /// As [`IaCompactScheme::build`] for any *exact*
+    /// [`ort_graphs::oracle::Distances`] implementation — notably
+    /// [`ort_graphs::oracle::BandedOracle`]. The construction is purely
+    /// adjacency-based; the oracle contributes only its connectivity bit
+    /// (row 0), so a banded oracle's peak distance memory stays one band.
+    ///
+    /// # Errors
+    ///
+    /// As [`IaCompactScheme::build`], plus
+    /// [`SchemeError::ApproximateOracle`] for inexact oracles and a
+    /// precondition error on an oracle/graph size mismatch.
+    pub fn build_with_dists(
+        g: &Graph,
+        ports: PortAssignment,
+        dists: &dyn ort_graphs::oracle::Distances,
+    ) -> Result<Self, SchemeError> {
+        if g.node_count() < 2 {
+            return Err(SchemeError::Precondition { reason: "need at least 2 nodes".into() });
+        }
+        crate::schemes::check_exact_oracle(g, dists)?;
+        Self::build_checked(g, ports)
+    }
+
+    fn build_checked(g: &Graph, ports: PortAssignment) -> Result<Self, SchemeError> {
+        let n = g.node_count();
         let mut bits = Vec::with_capacity(n);
         for u in 0..n {
             let mut w = BitWriter::new();

@@ -59,6 +59,34 @@ impl IntervalScheme {
         if !ort_graphs::paths::is_connected(g) {
             return Err(SchemeError::Disconnected);
         }
+        Self::build_checked(g)
+    }
+
+    /// As [`IntervalScheme::build`] for any *exact*
+    /// [`ort_graphs::oracle::Distances`] implementation — notably
+    /// [`ort_graphs::oracle::BandedOracle`]. The DFS-tree construction is
+    /// purely adjacency-based; the oracle contributes only its
+    /// connectivity bit (row 0), so a banded oracle's peak distance
+    /// memory stays one band.
+    ///
+    /// # Errors
+    ///
+    /// As [`IntervalScheme::build`], plus
+    /// [`SchemeError::ApproximateOracle`] for inexact oracles and a
+    /// precondition error on an oracle/graph size mismatch.
+    pub fn build_with_dists(
+        g: &Graph,
+        dists: &dyn ort_graphs::oracle::Distances,
+    ) -> Result<Self, SchemeError> {
+        if g.node_count() == 0 {
+            return Err(SchemeError::Precondition { reason: "empty graph".into() });
+        }
+        crate::schemes::check_exact_oracle(g, dists)?;
+        Self::build_checked(g)
+    }
+
+    fn build_checked(g: &Graph) -> Result<Self, SchemeError> {
+        let n = g.node_count();
         // Iterative DFS from node 0: preorder numbers and subtree sizes.
         let mut pre = vec![usize::MAX; n];
         let mut size = vec![1usize; n];

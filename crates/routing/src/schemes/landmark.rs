@@ -19,7 +19,7 @@
 use ort_bitio::{bits_to_index, BitReader, BitVec, BitWriter};
 use ort_graphs::labels::{Label, Labeling};
 use ort_graphs::oracle::{Distances, LandmarkOracle};
-use ort_graphs::paths::{Apsp, DistanceOracle};
+use ort_graphs::paths::DistanceOracle;
 use ort_graphs::ports::PortAssignment;
 use ort_graphs::{Graph, NodeId};
 use rand::rngs::StdRng;
@@ -79,7 +79,7 @@ impl LandmarkScheme {
         seed: u64,
         count: usize,
     ) -> Result<Self, SchemeError> {
-        let oracle = Apsp::compute(g).into_oracle();
+        let oracle = crate::schemes::shared_oracle(g);
         Self::build_with_oracle_and_landmark_count(g, &oracle, seed, count)
     }
 
@@ -105,13 +105,27 @@ impl LandmarkScheme {
     /// *exact* [`Distances`] implementation — notably
     /// [`ort_graphs::oracle::BandedOracle`], which builds the scheme
     /// without ever holding the full `n²` matrix. Exact oracles all
-    /// produce byte-identical schemes (the trait's path helpers mirror
-    /// [`Apsp`]'s smallest-qualifying-neighbour rules).
+    /// produce byte-identical schemes (every query below resolves through
+    /// the same smallest-qualifying-neighbour rules as
+    /// [`ort_graphs::paths::Apsp`]).
+    ///
+    /// Band-streamed in two ascending passes, exploiting distance
+    /// symmetry so every query reads the currently-resident band:
+    ///
+    /// 1. **Landmark rows** (`l` ascending): toward-ports for all nodes
+    ///    (`w` qualifies iff `d(l,w) == d(l,v) − 1`) plus each node's
+    ///    nearest landmark and radius — all from row `l`.
+    /// 2. **All rows** (`v` ascending): `v`'s label path (walked forward
+    ///    from its landmark, picking the smallest neighbour `w` with
+    ///    `d(v,w) == d(v,cur) − 1`) and `v`'s membership in every bunch
+    ///    (`d(v,x) < r_x`, first hop of `x` toward `v` from row `v`) —
+    ///    appended per node in ascending-`v` order, exactly the order the
+    ///    historical per-node loop produced.
     ///
     /// # Errors
     ///
-    /// As [`LandmarkScheme::build_with_oracle_and_landmark_count`], plus a
-    /// precondition error for approximate oracles (use
+    /// As [`LandmarkScheme::build_with_oracle_and_landmark_count`], plus
+    /// [`SchemeError::ApproximateOracle`] for approximate oracles (use
     /// [`LandmarkScheme::build_from_landmark_oracle`] for those).
     pub fn build_with_dists(
         g: &Graph,
@@ -119,24 +133,11 @@ impl LandmarkScheme {
         seed: u64,
         count: usize,
     ) -> Result<Self, SchemeError> {
-        if !dists.is_exact() {
-            return Err(SchemeError::Precondition {
-                reason: "exact distances required; build_from_landmark_oracle handles approximate oracles"
-                    .into(),
-            });
-        }
         let n = g.node_count();
         if n < 2 {
             return Err(SchemeError::Precondition { reason: "need at least 2 nodes".into() });
         }
-        if dists.node_count() != n {
-            return Err(SchemeError::Precondition {
-                reason: "distance oracle does not match the graph".into(),
-            });
-        }
-        if !dists.is_connected() {
-            return Err(SchemeError::Disconnected);
-        }
+        crate::schemes::check_exact_oracle(g, dists)?;
         let count = count.clamp(1, n);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut landmarks = ort_graphs::generators::random_permutation(n, &mut rng);
@@ -145,60 +146,80 @@ impl LandmarkScheme {
 
         let ports = PortAssignment::sorted(g);
         let w_node = bits_to_index(n as u64);
-        // First port of each node towards each landmark, read from the
-        // landmark's APSP row. Ports are sorted-neighbour order, so "first
+        // Pass 1 — one visit per landmark row, landmarks ascending.
+        // Toward-ports: ports are sorted-neighbour order, so "first
         // strictly closer neighbour" matches the BFS parent this used to
-        // derive from a per-landmark traversal.
+        // derive from a per-landmark traversal. Nearest/radius: updating
+        // on strict improvement with `li` ascending keeps the
+        // smallest-index tie-break of the historical per-node scan.
         let mut toward: Vec<Vec<usize>> = Vec::with_capacity(count); // [li][v] = port
-        for &l in &landmarks {
+        let mut nearest = vec![0usize; n]; // index into `landmarks`
+        let mut radius = vec![u32::MAX; n];
+        for (li, &l) in landmarks.iter().enumerate() {
             let mut ports_to_l = vec![0usize; n];
             for (v, port) in ports_to_l.iter_mut().enumerate() {
+                let dv = dists.distance(l, v).expect("connected");
+                if dv < radius[v] {
+                    radius[v] = dv;
+                    nearest[v] = li;
+                }
                 if v == l {
                     continue;
                 }
-                let dv = dists.distance(v, l).expect("connected");
                 *port = g
                     .neighbors(v)
                     .iter()
-                    .position(|&x| dists.distance(x, l) == Some(dv - 1))
+                    .position(|&x| dists.distance(l, x) == Some(dv - 1))
                     .expect("some neighbour is closer");
             }
             toward.push(ports_to_l);
         }
-        // Nearest landmark and radius per node.
-        let mut nearest = vec![0usize; n]; // index into `landmarks`
-        let mut radius = vec![u32::MAX; n];
+        // Pass 2 — one visit per row, `v` ascending: labels and bunches.
+        // Labels are [v][l_id][path_len][path ports...], the path walked
+        // forward from the landmark but resolved entirely from row `v`.
+        let mut labels = Vec::with_capacity(n);
+        let mut bunches: Vec<Vec<(NodeId, usize)>> = vec![Vec::new(); n];
         for v in 0..n {
-            for (li, &l) in landmarks.iter().enumerate() {
-                let d = dists.distance(v, l).expect("connected");
-                if d < radius[v] {
-                    radius[v] = d;
-                    nearest[v] = li;
+            let l = landmarks[nearest[v]];
+            let mut path = vec![l];
+            let mut cur = l;
+            while cur != v {
+                let d = dists.distance(v, cur).expect("connected");
+                cur = *g
+                    .neighbors(cur)
+                    .iter()
+                    .find(|&&w| dists.distance(v, w) == Some(d - 1))
+                    .expect("some neighbour is closer");
+                path.push(cur);
+            }
+            labels.push(Self::encode_label(&ports, v, l, &path, w_node)?);
+            for (x, bunch) in bunches.iter_mut().enumerate() {
+                if x == v {
+                    continue;
+                }
+                let d = dists.distance(v, x).expect("connected");
+                if d < radius[x] {
+                    let hop = g
+                        .neighbors(x)
+                        .iter()
+                        .copied()
+                        .find(|&w| dists.distance(v, w) == Some(d - 1))
+                        .expect("reachable");
+                    let port = ports.port_to(x, hop).expect("neighbour");
+                    bunch.push((v, port));
                 }
             }
         }
-        // Labels: [v][l_id][path_len][path ports...].
-        let mut labels = Vec::with_capacity(n);
-        for v in 0..n {
-            let l = landmarks[nearest[v]];
-            let path = dists.shortest_path(g, l, v).expect("connected");
-            labels.push(Self::encode_label(&ports, v, l, &path, w_node)?);
-        }
         // Node bits: [landmark ports][bunch count][bunch (id, port)...].
         let mut bits = Vec::with_capacity(n);
-        for x in 0..n {
+        for (x, bunch) in bunches.iter().enumerate() {
             let mut w = BitWriter::new();
             for li in 0..count {
                 let port = if x == landmarks[li] { 0 } else { toward[li][x] };
                 w.write_bits(port as u64, w_node)?;
             }
-            let bunch: Vec<NodeId> = (0..n)
-                .filter(|&v| v != x && dists.distance(x, v).expect("connected") < radius[x])
-                .collect();
             w.write_bits(bunch.len() as u64, w_node)?;
-            for v in bunch {
-                let hop = *dists.shortest_path_ports(g, x, v).first().expect("reachable");
-                let port = ports.port_to(x, hop).expect("neighbour");
+            for &(v, port) in bunch {
                 w.write_bits(v as u64, w_node)?;
                 w.write_bits(port as u64, w_node)?;
             }
@@ -466,6 +487,7 @@ mod tests {
     use crate::scheme::RoutingScheme;
     use crate::verify::verify_scheme;
     use ort_graphs::generators;
+    use ort_graphs::paths::Apsp;
 
     #[test]
     fn delivers_on_assorted_graphs() {
@@ -587,7 +609,7 @@ mod tests {
         let lo = LandmarkOracle::build(&g, 4);
         assert!(matches!(
             LandmarkScheme::build_with_dists(&g, &lo, 1, 4),
-            Err(SchemeError::Precondition { .. })
+            Err(SchemeError::ApproximateOracle { oracle: "approximate landmark oracle" })
         ));
     }
 

@@ -12,7 +12,8 @@
 
 use ort_bitio::{bits_to_index, codes, BitReader, BitVec, BitWriter};
 use ort_graphs::labels::{Label, Labeling};
-use ort_graphs::paths::{Apsp, DistanceOracle};
+use ort_graphs::oracle::Distances;
+use ort_graphs::paths::DistanceOracle;
 use ort_graphs::ports::PortAssignment;
 use ort_graphs::{Graph, NodeId};
 
@@ -53,7 +54,7 @@ impl MultiIntervalScheme {
     ///
     /// Returns [`SchemeError::Disconnected`] for disconnected graphs.
     pub fn build(g: &Graph) -> Result<Self, SchemeError> {
-        let oracle = Apsp::compute(g).into_oracle();
+        let oracle = crate::schemes::shared_oracle(g);
         Self::build_with_oracle(g, &oracle)
     }
 
@@ -66,41 +67,56 @@ impl MultiIntervalScheme {
     /// As [`MultiIntervalScheme::build`], plus a precondition error on an
     /// oracle/graph size mismatch.
     pub fn build_with_oracle(g: &Graph, oracle: &DistanceOracle) -> Result<Self, SchemeError> {
+        Self::build_with_dists(g, &**oracle)
+    }
+
+    /// As [`MultiIntervalScheme::build`] for any *exact* [`Distances`]
+    /// implementation — notably [`ort_graphs::oracle::BandedOracle`].
+    ///
+    /// Band-streamed: the outer loop walks destinations ascending and
+    /// *extends the last interval run in place* when a port's destination
+    /// set stays contiguous (the maximal-run merge the historical build
+    /// applied to each sorted per-port list, performed online), so full
+    /// per-port destination lists are never materialised and a banded
+    /// oracle's peak distance memory is one band. Encoded bits are
+    /// identical to the historical per-node construction.
+    ///
+    /// # Errors
+    ///
+    /// As [`MultiIntervalScheme::build`], plus
+    /// [`SchemeError::ApproximateOracle`] for inexact oracles and a
+    /// precondition error on an oracle/graph size mismatch.
+    pub fn build_with_dists(g: &Graph, dists: &dyn Distances) -> Result<Self, SchemeError> {
+        crate::schemes::check_exact_oracle(g, dists)?;
         let n = g.node_count();
-        let apsp: &Apsp = oracle;
-        if apsp.node_count() != n {
-            return Err(SchemeError::Precondition {
-                reason: "distance oracle does not match the graph".into(),
-            });
-        }
-        if !apsp.is_connected() {
-            return Err(SchemeError::Disconnected);
-        }
         let ports = PortAssignment::sorted(g);
         let width = bits_to_index(n as u64);
-        let mut bits = Vec::with_capacity(n);
-        let mut total_intervals = 0usize;
-        for u in 0..n {
-            // Destinations per port (least shortest-path first hop).
-            let d = g.degree(u);
-            let mut per_port: Vec<Vec<NodeId>> = vec![Vec::new(); d];
-            for t in 0..n {
+        // intervals[u][p]: maximal (start, len) runs of the destinations
+        // routed from u through port p, grown online as t ascends.
+        let mut intervals: Vec<Vec<Vec<(NodeId, usize)>>> =
+            (0..n).map(|u| vec![Vec::new(); g.degree(u)]).collect();
+        for t in 0..n {
+            for (u, per_port) in intervals.iter_mut().enumerate() {
                 if t == u {
                     continue;
                 }
-                let hop = *apsp
-                    .shortest_path_ports(g, u, t)
-                    .first()
-                    .expect("connected graph has a next hop");
+                let hop =
+                    dists.first_hop_toward(g, u, t).expect("connected graph has a next hop");
                 let p = ports.port_to(u, hop).expect("hop is a neighbour");
-                per_port[p].push(t);
+                match per_port[p].last_mut() {
+                    Some((start, len)) if *start + *len == t => *len += 1,
+                    _ => per_port[p].push((t, 1)),
+                }
             }
+        }
+        let mut bits = Vec::with_capacity(n);
+        let mut total_intervals = 0usize;
+        for per_port in &intervals {
             let mut w = BitWriter::new();
-            for dests in &per_port {
-                let intervals = to_intervals(dests);
-                total_intervals += intervals.len();
-                codes::write_elias_gamma0(&mut w, intervals.len() as u64)?;
-                for &(start, len) in &intervals {
+            for runs in per_port {
+                total_intervals += runs.len();
+                codes::write_elias_gamma0(&mut w, runs.len() as u64)?;
+                for &(start, len) in runs {
                     w.write_bits(start as u64, width)?;
                     codes::write_elias_gamma(&mut w, len as u64)?;
                 }
@@ -146,19 +162,6 @@ impl MultiIntervalScheme {
     pub fn total_intervals(&self) -> usize {
         self.total_intervals
     }
-}
-
-/// Compresses a sorted destination list into maximal `(start, len)` runs
-/// of consecutive labels.
-fn to_intervals(sorted: &[NodeId]) -> Vec<(NodeId, usize)> {
-    let mut out: Vec<(NodeId, usize)> = Vec::new();
-    for &t in sorted {
-        match out.last_mut() {
-            Some((start, len)) if *start + *len == t => *len += 1,
-            _ => out.push((t, 1)),
-        }
-    }
-    out
 }
 
 impl RoutingScheme for MultiIntervalScheme {

@@ -153,6 +153,58 @@ impl Theorem1Scheme {
         Self::build_full(g, variant, CutoffPolicy::NOverLog)
     }
 
+    /// As [`Theorem1Scheme::build`], reading connectivity from an
+    /// [`ort_graphs::oracle::Distances`] oracle (row 0 — one band with a
+    /// [`ort_graphs::oracle::BandedOracle`]) instead of running a
+    /// traversal. The construction itself is pure adjacency, so this is
+    /// all the banding the scheme needs: peak distance memory is one
+    /// band, and the bits are identical to [`Theorem1Scheme::build`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Theorem1Scheme::build`], plus
+    /// [`SchemeError::ApproximateOracle`] for inexact oracles and a
+    /// precondition error on an oracle/graph size mismatch.
+    pub fn build_with_dists(
+        g: &Graph,
+        dists: &dyn ort_graphs::oracle::Distances,
+    ) -> Result<Self, SchemeError> {
+        Self::build_with_dists_variant(g, dists, Variant::NeighborsKnown)
+    }
+
+    /// As [`Theorem1Scheme::build_ib`] with oracle-sourced connectivity;
+    /// see [`Theorem1Scheme::build_with_dists`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Theorem1Scheme::build_with_dists`].
+    pub fn build_ib_with_dists(
+        g: &Graph,
+        dists: &dyn ort_graphs::oracle::Distances,
+    ) -> Result<Self, SchemeError> {
+        Self::build_with_dists_variant(g, dists, Variant::PortsFree)
+    }
+
+    fn build_with_dists_variant(
+        g: &Graph,
+        dists: &dyn ort_graphs::oracle::Distances,
+        variant: Variant,
+    ) -> Result<Self, SchemeError> {
+        let n = g.node_count();
+        let _span = ort_telemetry::span_with(
+            "theorem1.build",
+            &[("n", ort_telemetry::FieldValue::Int(n as u64))],
+        );
+        if n < 2 {
+            return Err(SchemeError::Precondition { reason: "need at least 2 nodes".into() });
+        }
+        {
+            let _s = ort_telemetry::span("theorem1.connectivity");
+            crate::schemes::check_exact_oracle(g, dists)?;
+        }
+        Self::build_checked(g, variant, CutoffPolicy::NOverLog)
+    }
+
     fn build_full(g: &Graph, variant: Variant, cutoff: CutoffPolicy) -> Result<Self, SchemeError> {
         let n = g.node_count();
         let _span = ort_telemetry::span_with(
@@ -168,6 +220,16 @@ impl Theorem1Scheme {
                 return Err(SchemeError::Disconnected);
             }
         }
+        Self::build_checked(g, variant, cutoff)
+    }
+
+    /// The construction proper, after connectivity has been established.
+    fn build_checked(
+        g: &Graph,
+        variant: Variant,
+        cutoff: CutoffPolicy,
+    ) -> Result<Self, SchemeError> {
+        let n = g.node_count();
         let mut bits = Vec::with_capacity(n);
         {
             let _s = ort_telemetry::span("theorem1.encode_tables");

@@ -65,6 +65,33 @@ impl Theorem3Scheme {
         if !ort_graphs::paths::is_connected(g) {
             return Err(SchemeError::Disconnected);
         }
+        Self::build_checked(g)
+    }
+
+    /// As [`Theorem3Scheme::build`] for any *exact*
+    /// [`ort_graphs::oracle::Distances`] implementation — notably
+    /// [`ort_graphs::oracle::BandedOracle`]. The construction is purely
+    /// adjacency-based; the oracle contributes only its connectivity bit
+    /// (row 0), so a banded oracle's peak distance memory stays one band.
+    ///
+    /// # Errors
+    ///
+    /// As [`Theorem3Scheme::build`], plus
+    /// [`SchemeError::ApproximateOracle`] for inexact oracles and a
+    /// precondition error on an oracle/graph size mismatch.
+    pub fn build_with_dists(
+        g: &Graph,
+        dists: &dyn ort_graphs::oracle::Distances,
+    ) -> Result<Self, SchemeError> {
+        if g.node_count() < 2 {
+            return Err(SchemeError::Precondition { reason: "need at least 2 nodes".into() });
+        }
+        crate::schemes::check_exact_oracle(g, dists)?;
+        Self::build_checked(g)
+    }
+
+    fn build_checked(g: &Graph) -> Result<Self, SchemeError> {
+        let n = g.node_count();
         // Any node works as the anchor on a random graph (Lemma 3); on
         // marginal graphs some anchors dominate and others do not, so try
         // node 0 first, then the max-degree node, then a short scan.

@@ -80,6 +80,33 @@ impl Theorem5Scheme {
         if !ort_graphs::paths::is_connected(g) {
             return Err(SchemeError::Disconnected);
         }
+        Self::build_checked(g, c)
+    }
+
+    /// As [`Theorem5Scheme::build`] for any *exact*
+    /// [`ort_graphs::oracle::Distances`] implementation — notably
+    /// [`ort_graphs::oracle::BandedOracle`]. The construction is purely
+    /// adjacency-based; the oracle contributes only its connectivity bit
+    /// (row 0), so a banded oracle's peak distance memory stays one band.
+    ///
+    /// # Errors
+    ///
+    /// As [`Theorem5Scheme::build_with_c`], plus
+    /// [`SchemeError::ApproximateOracle`] for inexact oracles and a
+    /// precondition error on an oracle/graph size mismatch.
+    pub fn build_with_dists(
+        g: &Graph,
+        dists: &dyn ort_graphs::oracle::Distances,
+    ) -> Result<Self, SchemeError> {
+        if g.node_count() < 2 {
+            return Err(SchemeError::Precondition { reason: "need at least 2 nodes".into() });
+        }
+        crate::schemes::check_exact_oracle(g, dists)?;
+        Self::build_checked(g, DEFAULT_C)
+    }
+
+    fn build_checked(g: &Graph, c: f64) -> Result<Self, SchemeError> {
+        let n = g.node_count();
         let k = ((c + 3.0) * (n.max(2) as f64).log2()).ceil() as usize;
         for u in 0..n {
             let prefix: Vec<NodeId> = g.neighbors(u).iter().copied().take(k).collect();

@@ -282,19 +282,17 @@ pub fn verify_scheme_with_oracle(
 ///
 /// # Errors
 ///
-/// Returns [`SchemeError::Precondition`] if the oracle is approximate
-/// (`!is_exact()` — stretch measured against estimates would be
-/// meaningless) or its node count does not match `g`, and
-/// [`SchemeError::Disconnected`] as [`verify_scheme`].
+/// Returns [`SchemeError::ApproximateOracle`] naming the oracle if it is
+/// approximate (`!is_exact()` — stretch measured against estimates would
+/// be meaningless), [`SchemeError::Precondition`] if its node count does
+/// not match `g`, and [`SchemeError::Disconnected`] as [`verify_scheme`].
 pub fn verify_scheme_with_dists(
     g: &Graph,
     scheme: &dyn RoutingScheme,
     dists: &dyn Distances,
 ) -> Result<VerifyReport, SchemeError> {
     if !dists.is_exact() {
-        return Err(SchemeError::Precondition {
-            reason: "stretch verification requires an exact distance oracle".into(),
-        });
+        return Err(SchemeError::ApproximateOracle { oracle: dists.describe() });
     }
     ort_telemetry::counter!("oracle.reused").incr();
     verify_with(g, scheme, dists, 1)
@@ -558,8 +556,23 @@ mod tests {
         let lo = LandmarkOracle::build(&g, 4);
         assert!(matches!(
             verify_scheme_with_dists(&g, &scheme, &lo),
-            Err(SchemeError::Precondition { .. })
+            Err(SchemeError::ApproximateOracle { oracle: "approximate landmark oracle" })
         ));
+    }
+
+    #[test]
+    fn approximate_oracle_rejection_names_the_oracle() {
+        use crate::schemes::full_table::FullTableScheme;
+        use ort_graphs::oracle::LandmarkOracle;
+        let g = ort_graphs::generators::gnp_half(16, 2);
+        let scheme = FullTableScheme::build(&g).unwrap();
+        let lo = LandmarkOracle::build(&g, 4);
+        let err = verify_scheme_with_dists(&g, &scheme, &lo).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "approximate landmark oracle is approximate: \
+             exact shortest-path distances are required"
+        );
     }
 
     #[test]

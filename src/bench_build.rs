@@ -1,0 +1,330 @@
+//! Experiment PERF-BUILD: scheme construction at scale behind
+//! `ort bench-build` and `results/BENCH_build.json`.
+//!
+//! PR 6 scaled the *oracle* to `n = 16384`; this snapshot measures the
+//! *builders* there. Every cell is constructed twice:
+//!
+//! * **banded** — through [`SchemeId::build_with_dists`] over a
+//!   [`BandedOracle`] holding [`BAND_ROWS`] distance rows at a time, the
+//!   streaming path whose peak distance memory is one band;
+//! * **full** — through the historical [`SchemeId::build`] entry point
+//!   (`band_rows = n` in the record), which for the APSP-hungry schemes
+//!   materialises the full `n²` matrix.
+//!
+//! Both builds are byte-identical (`crates/conformance/tests/
+//! builder_bands.rs` is the proof), so the snapshot is a pure
+//! time/memory trade-off curve. Workloads follow the bench conventions:
+//! sparse `G(n, n·ln n)` and power-law graphs for the general schemes,
+//! dense `G(n, 1/2)` for Theorem 1 (its common-neighbour precondition).
+//! `ort bench-gate` reads the snapshot back and fails CI when the
+//! banded peak exceeds one band or the banded/full time ratio drifts.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use ort_conformance::registry::SchemeId;
+use ort_graphs::generators;
+use ort_graphs::oracle::{BandedOracle, Distances};
+use ort_graphs::paths::Apsp;
+use ort_graphs::Graph;
+
+use crate::bench::BENCH_SEED;
+
+/// Default snapshot location, shared with `ort bench-gate`.
+pub const DEFAULT_OUT: &str = "results/BENCH_build.json";
+
+/// Distance rows resident per band in the banded runs — the production
+/// streaming width (64 rows of `u8` cells at `n = 16384` is a 1 MiB
+/// band).
+pub const BAND_ROWS: usize = 64;
+
+/// The sizes the full snapshot sweeps.
+pub const SIZES: [usize; 3] = [1024, 4096, 16384];
+
+/// Edge count of the sparse `G(n, m)` workload: `n·ln n`, safely above
+/// the `n·ln n / 2` connectivity threshold so every seeded sample is
+/// connected with overwhelming probability.
+#[must_use]
+pub fn gnm_edges(n: usize) -> usize {
+    ((n as f64) * (n.max(2) as f64).ln()).ceil() as usize
+}
+
+/// What to measure.
+#[derive(Debug, Clone)]
+pub struct BenchBuildOptions {
+    /// Node counts to sweep.
+    pub sizes: Vec<usize>,
+    /// Skip any size above this bound (0 = no cap) — the CI smoke knob.
+    pub max_n: usize,
+    /// Restrict to these schemes (empty = the full roster).
+    pub schemes: Vec<SchemeId>,
+    /// Where to write the JSON snapshot.
+    pub out_path: String,
+}
+
+impl Default for BenchBuildOptions {
+    fn default() -> Self {
+        BenchBuildOptions {
+            sizes: SIZES.to_vec(),
+            max_n: 0,
+            schemes: Vec::new(),
+            out_path: DEFAULT_OUT.into(),
+        }
+    }
+}
+
+/// One measured construction.
+#[derive(Debug, Clone)]
+pub struct BuildRecord {
+    /// Registry name of the scheme.
+    pub scheme: &'static str,
+    /// Graph family label (`gnm`, `power_law`, `dense`).
+    pub graph: &'static str,
+    /// Node count.
+    pub n: usize,
+    /// Resident distance rows: [`BAND_ROWS`] for banded runs, `n` for
+    /// full-matrix runs.
+    pub band_rows: usize,
+    /// Best-of-reps wall-clock milliseconds for one complete build.
+    pub build_ms: f64,
+    /// Peak distance-cell bytes held at any moment (0 when the build
+    /// path never materialises distances — the adjacency-based schemes'
+    /// full-matrix entry point).
+    pub peak_bytes: usize,
+    /// Bands the banded oracle computed during the measured build
+    /// (0 for full-matrix runs) — the thrash detector.
+    pub bands_computed: u64,
+    /// Size of the built tables, for scale context.
+    pub table_bytes: usize,
+}
+
+/// The workloads a scheme is measured on, with its size cap (builds
+/// whose cost curve leaves the snapshot budget stop early; every scheme
+/// the acceptance gate needs runs to the largest size).
+fn roster() -> Vec<(SchemeId, Vec<&'static str>, usize)> {
+    vec![
+        (SchemeId::FullTable, vec!["gnm", "power_law"], usize::MAX),
+        (SchemeId::Interval, vec!["gnm", "power_law"], usize::MAX),
+        (SchemeId::Landmark, vec!["gnm", "power_law"], usize::MAX),
+        (SchemeId::MultiInterval, vec!["power_law"], 4096),
+        (SchemeId::FullInformation, vec!["power_law"], 1024),
+        (SchemeId::Theorem1, vec!["dense"], usize::MAX),
+    ]
+}
+
+/// Whether the scheme's historical build path computes a full APSP.
+fn is_apsp_hungry(id: SchemeId) -> bool {
+    matches!(
+        id,
+        SchemeId::FullTable
+            | SchemeId::FullInformation
+            | SchemeId::MultiInterval
+            | SchemeId::Landmark
+    )
+}
+
+fn make_graph(family: &str, n: usize) -> Graph {
+    match family {
+        "gnm" => generators::gnm_seeded(n, gnm_edges(n), BENCH_SEED),
+        "power_law" => generators::power_law_seeded(
+            n,
+            crate::bench::SPARSE_M,
+            crate::bench::SPARSE_GAMMA,
+            BENCH_SEED,
+        ),
+        "dense" => generators::gnp_half(n, BENCH_SEED),
+        other => unreachable!("unknown graph family {other}"),
+    }
+}
+
+/// Best-of-`reps` wall-clock milliseconds for `f` (no warmup: a build at
+/// `n = 16384` is seconds of work, so the first run *is* the steady
+/// state, and doubling it would double the snapshot's wall clock).
+fn best_ms<F: FnMut()>(mut f: F, reps: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn measure_cell(records: &mut Vec<BuildRecord>, id: SchemeId, family: &'static str, n: usize) {
+    let g = make_graph(family, n);
+    let reps = if n > 2048 { 1 } else { 3 };
+
+    // Banded: oracle construction is part of the measured build — the
+    // streaming path owns its oracle, there is nothing to amortise.
+    let mut banded_probe: Option<(usize, u64, usize)> = None;
+    let banded_ms = best_ms(
+        || {
+            let banded = BandedOracle::new(g.clone(), BAND_ROWS.min(n));
+            let scheme = id.build_with_dists(&g, &banded).expect("banded build");
+            banded_probe = Some((
+                banded.peak_bytes(),
+                banded.bands_computed(),
+                scheme.total_size_bits().div_ceil(8),
+            ));
+            black_box(&scheme);
+        },
+        reps,
+    );
+    let (peak, bands, table_bytes) = banded_probe.expect("probe set by the measured closure");
+    records.push(BuildRecord {
+        scheme: id.name(),
+        graph: family,
+        n,
+        band_rows: BAND_ROWS.min(n),
+        build_ms: banded_ms,
+        peak_bytes: peak,
+        bands_computed: bands,
+        table_bytes,
+    });
+
+    // Full matrix: the historical entry point, timed as-is. Its peak
+    // distance memory is the full APSP the wrapper computes internally
+    // (probed separately), or zero for the adjacency-based schemes.
+    let full_ms = best_ms(|| drop(black_box(id.build(&g).expect("full build"))), reps);
+    let full_peak = if is_apsp_hungry(id) { Apsp::compute(&g).heap_bytes() } else { 0 };
+    records.push(BuildRecord {
+        scheme: id.name(),
+        graph: family,
+        n,
+        band_rows: n,
+        build_ms: full_ms,
+        peak_bytes: full_peak,
+        bands_computed: 0,
+        table_bytes,
+    });
+}
+
+/// Runs the snapshot, writes `opts.out_path`, and returns the records.
+///
+/// # Errors
+///
+/// Returns a message if the snapshot file cannot be written.
+pub fn run(opts: &BenchBuildOptions) -> Result<Vec<BuildRecord>, String> {
+    let _span = ort_telemetry::span("bench.build");
+    let keep_n = |&n: &usize| opts.max_n == 0 || n <= opts.max_n;
+    let keep_scheme =
+        |id: SchemeId| opts.schemes.is_empty() || opts.schemes.contains(&id);
+    let mut records = Vec::new();
+    for &n in opts.sizes.iter().filter(|n| keep_n(n)) {
+        for (id, families, cap) in roster() {
+            if n > cap || !keep_scheme(id) {
+                continue;
+            }
+            for family in families {
+                measure_cell(&mut records, id, family, n);
+            }
+        }
+    }
+    let json = to_json(&records);
+    if let Some(dir) = std::path::Path::new(&opts.out_path).parent() {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    }
+    std::fs::write(&opts.out_path, json)
+        .map_err(|e| format!("cannot write {}: {e}", opts.out_path))?;
+    Ok(records)
+}
+
+/// Serialises the snapshot in the `results/BENCH_build.json` format
+/// (`results[].scheme/n/band_rows/peak_bytes/build_ms` are load-bearing
+/// for `ort bench-gate`).
+#[must_use]
+pub fn to_json(records: &[BuildRecord]) -> String {
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"build\",\n");
+    json.push_str(&format!(
+        "  \"graph\": \"gnm: gnm(n, ceil(n ln n), seed={BENCH_SEED}); power_law: power_law(n, m={}, gamma={}, seed={BENCH_SEED}); dense: gnp_half(n, seed={BENCH_SEED})\",\n",
+        crate::bench::SPARSE_M,
+        crate::bench::SPARSE_GAMMA,
+    ));
+    json.push_str(&format!("  \"band_rows\": {BAND_ROWS},\n"));
+    json.push_str("  \"unit\": \"ms, best-of-reps wall clock for one complete build\",\n");
+    json.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i + 1 == records.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"scheme\": \"{}\", \"graph\": \"{}\", \"n\": {}, \"band_rows\": {}, \"build_ms\": {:.3}, \"peak_bytes\": {}, \"bands_computed\": {}, \"table_bytes\": {}}}{sep}\n",
+            r.scheme, r.graph, r.n, r.band_rows, r.build_ms, r.peak_bytes, r.bands_computed,
+            r.table_bytes,
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+/// Human-readable summary of a snapshot run.
+#[must_use]
+pub fn summary(records: &[BuildRecord], out_path: &str) -> String {
+    let mut out = String::from("== scheme construction snapshot ==\n\n");
+    for r in records {
+        out.push_str(&format!(
+            "  {:<16} {:<10} n={:<6} band={:<6} {:>10.3} ms  peak={:>9} KiB  tables={:>9} KiB\n",
+            r.scheme,
+            r.graph,
+            r.n,
+            if r.band_rows == r.n { "full".into() } else { r.band_rows.to_string() },
+            r.build_ms,
+            r.peak_bytes / 1024,
+            r.table_bytes / 1024,
+        ));
+    }
+    out.push_str(&format!("  wrote {out_path}\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_runs_and_serialises_at_tiny_sizes() {
+        let dir = std::env::temp_dir().join("ort_bench_build_test");
+        let out = dir.join("BENCH_build.json");
+        let opts = BenchBuildOptions {
+            sizes: vec![48],
+            max_n: 0,
+            schemes: Vec::new(),
+            out_path: out.to_string_lossy().into_owned(),
+        };
+        let records = run(&opts).unwrap();
+        // Every roster cell × families × {banded, full}.
+        assert_eq!(records.len(), 2 * (2 + 2 + 2 + 1 + 1 + 1));
+        assert!(records.iter().all(|r| r.build_ms.is_finite()));
+        // Records come in (banded, full) pairs per cell, with identical
+        // table sizes — byte-identity leaves nothing else to be.
+        for pair in records.chunks(2) {
+            let [banded, full] = pair else { panic!("odd record count") };
+            assert_eq!(banded.scheme, full.scheme);
+            assert_eq!(banded.graph, full.graph);
+            assert!(banded.bands_computed > 0, "{}: banded row first", banded.scheme);
+            assert_eq!(full.bands_computed, 0, "{}: full row second", full.scheme);
+            assert_eq!(banded.table_bytes, full.table_bytes, "{}", banded.scheme);
+        }
+        let json = std::fs::read_to_string(&out).unwrap();
+        assert!(json.contains("\"scheme\": \"full-table\""));
+        assert!(!summary(&records, "x").is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scheme_filter_and_max_n_cap_the_workload() {
+        let dir = std::env::temp_dir().join("ort_bench_build_cap_test");
+        let out = dir.join("BENCH_build.json");
+        let opts = BenchBuildOptions {
+            sizes: vec![32, 64],
+            max_n: 40,
+            schemes: vec![SchemeId::FullTable],
+            out_path: out.to_string_lossy().into_owned(),
+        };
+        let records = run(&opts).unwrap();
+        assert!(!records.is_empty());
+        assert!(records.iter().all(|r| r.n <= 40 && r.scheme == "full-table"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

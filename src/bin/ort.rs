@@ -6,6 +6,8 @@
 //! ort route   <scheme> <n> <seed> <s> <t> route one message, print the path
 //! ort profile <scheme> [--n N] [--seed S] instrumented run: spans + bit accounting
 //! ort bench [--out p] [--max-n N]         APSP engine snapshot (dense + sparse)
+//! ort bench-build [--out p] [--max-n N] [--schemes a,b]
+//!                                         scheme-construction snapshot (banded vs full)
 //! ort bench-gate [--record]               bit-drift + perf-regression gate
 //! ort conformance [out.json]              run the full conformance suite
 //! ort resilience  [--verbose] [out.json]  fault-intensity sweep over all schemes
@@ -43,7 +45,9 @@ fn usage() -> ExitCode {
     eprintln!("  ort route   <scheme> <n> <seed> <src> <dst>");
     eprintln!("  ort profile <scheme> [--n N] [--seed S]  (default n=128 seed=1)");
     eprintln!("  ort bench   [--out p] [--max-n N]        (default results/BENCH_apsp.json)");
-    eprintln!("  ort bench-gate [--record] [--baseline p] [--bench p]");
+    eprintln!("  ort bench-build [--out p] [--max-n N] [--schemes a,b]");
+    eprintln!("                                           (default results/BENCH_build.json)");
+    eprintln!("  ort bench-gate [--record] [--baseline p] [--bench p] [--build p]");
     eprintln!("  ort save    <scheme> <n> <seed> <file>   (snapshot-capable schemes)");
     eprintln!("  ort load    <file> <src> <dst>");
     eprintln!("  ort conformance [out.json]               (default results/CONFORMANCE.json)");
@@ -171,10 +175,40 @@ fn run() -> Result<(), String> {
             print!("{}", bench::summary(&records, &out));
             Ok(())
         }
+        Some("bench-build") => {
+            use optimal_routing_tables::bench_build;
+            let (flags, positional) = parse_flags(&args[1..], &["out", "max-n", "schemes"])?;
+            if !positional.is_empty() {
+                return Err(format!("unexpected argument '{}'", positional[0]));
+            }
+            let mut opts = bench_build::BenchBuildOptions::default();
+            for (flag, value) in flags {
+                match flag.as_str() {
+                    "out" => opts.out_path = value,
+                    "max-n" => opts.max_n = value.parse().map_err(|_| "invalid --max-n")?,
+                    "schemes" => {
+                        opts.schemes = value
+                            .split(',')
+                            .map(|name| {
+                                SchemeId::from_name(name.trim()).ok_or_else(|| {
+                                    format!("unknown scheme '{name}'; try `ort schemes`")
+                                })
+                            })
+                            .collect::<Result<_, _>>()?;
+                    }
+                    _ => unreachable!("parse_flags filters"),
+                }
+            }
+            let out = opts.out_path.clone();
+            let records = bench_build::run(&opts)?;
+            print!("{}", bench_build::summary(&records, &out));
+            Ok(())
+        }
         Some("bench-gate") => {
             let mut record = false;
             let mut baseline = gate::DEFAULT_BASELINE.to_string();
             let mut bench = Some(gate::DEFAULT_BENCH.to_string());
+            let mut build = Some(gate::DEFAULT_BUILD_BENCH.to_string());
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -186,6 +220,10 @@ fn run() -> Result<(), String> {
                         let p = it.next().ok_or("--bench needs a path (or 'none')")?;
                         bench = (p != "none").then(|| p.clone());
                     }
+                    "--build" => {
+                        let p = it.next().ok_or("--build needs a path (or 'none')")?;
+                        build = (p != "none").then(|| p.clone());
+                    }
                     other => return Err(format!("unknown argument '{other}'")),
                 }
             }
@@ -194,7 +232,7 @@ fn run() -> Result<(), String> {
                 println!("wrote {baseline}");
                 return Ok(());
             }
-            let report = gate::check(&baseline, bench.as_deref())?;
+            let report = gate::check_all(&baseline, bench.as_deref(), build.as_deref())?;
             for line in &report.lines {
                 println!("{line}");
             }

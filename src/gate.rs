@@ -36,6 +36,8 @@ use ort_routing::accounting::BitBreakdown;
 pub const DEFAULT_BASELINE: &str = "results/TELEMETRY_BASELINE.json";
 /// Default APSP snapshot path (written by `ort-bench`'s `apsp_snapshot`).
 pub const DEFAULT_BENCH: &str = "results/BENCH_apsp.json";
+/// Default scheme-construction snapshot path (written by `ort bench-build`).
+pub const DEFAULT_BUILD_BENCH: &str = "results/BENCH_build.json";
 
 /// Measurement plan: sizes, graph seed, timing repetitions, and the
 /// relative timing tolerance stored into (and read back from) the
@@ -507,6 +509,147 @@ fn check_apsp_scale(doc: &Json, tolerance: f64, report: &mut GateReport) {
     }
 }
 
+/// Checks the scheme-construction snapshot (`results/BENCH_build.json`).
+///
+/// Static (snapshot-only) checks first:
+///
+/// * Every banded record must hold the streaming memory contract — peak
+///   distance bytes of at most one band (`band_rows · n` cells of at
+///   most 4 bytes), never the full matrix.
+/// * Banded builds must not thrash the band cache: at most two
+///   ascending passes (landmark's pass structure) plus the connectivity
+///   row, i.e. `bands_computed ≤ 2·⌈n/band_rows⌉ + 2`.
+/// * The acceptance sizes must be present: theorem1, full-table,
+///   interval and landmark all banded-built at `n = 16384`.
+///
+/// Then one fresh measurement: the banded/full build-time ratio for the
+/// full table at `n = 1024` on the sparse power-law graph, compared to
+/// the snapshot's ratio — both single-host runs, so machine speed
+/// cancels in the quotient (same discipline as [`check_apsp_scale`]).
+fn check_build_scale(doc: &Json, tolerance: f64, report: &mut GateReport) {
+    const SCALE_N: usize = 16384;
+    const FRESH_N: usize = 1024;
+    let Some(results) = doc.get("results").and_then(Json::as_arr) else {
+        report.failures.push("build scale: snapshot has no 'results' array".into());
+        return;
+    };
+    let field = |r: &Json, name: &str| r.get(name).and_then(Json::as_i64);
+
+    let mut banded_records = 0usize;
+    for r in results {
+        let (Some(n), Some(band_rows), Some(peak)) =
+            (field(r, "n"), field(r, "band_rows"), field(r, "peak_bytes"))
+        else {
+            report
+                .failures
+                .push("build scale: a record is missing n/band_rows/peak_bytes".into());
+            return;
+        };
+        if band_rows >= n {
+            continue; // full-matrix comparison row
+        }
+        banded_records += 1;
+        let scheme = r.get("scheme").and_then(Json::as_str).unwrap_or("?");
+        let band_cap = 4 * band_rows * n; // one band of ≤ 4-byte cells
+        if peak > band_cap {
+            report.failures.push(format!(
+                "build scale: {scheme} n={n} banded peak {peak} B exceeds one \
+                 band ({band_cap} B) — the streaming memory contract broke"
+            ));
+        }
+        if let Some(bands) = field(r, "bands_computed") {
+            let cap = 2 * ((n + band_rows - 1) / band_rows) + 2;
+            if bands > cap {
+                report.failures.push(format!(
+                    "build scale: {scheme} n={n} computed {bands} bands (cap {cap}) — \
+                     the builder thrashed the band cache"
+                ));
+            }
+        }
+    }
+    report.lines.push(format!(
+        "build scale: {banded_records} banded records hold the one-band memory contract"
+    ));
+
+    for required in ["theorem1", "full-table", "interval", "landmark"] {
+        let present = results.iter().any(|r| {
+            r.get("scheme").and_then(Json::as_str) == Some(required)
+                && field(r, "n") == Some(SCALE_N as i64)
+                && field(r, "band_rows").is_some_and(|b| b < SCALE_N as i64)
+        });
+        if !present {
+            report.failures.push(format!(
+                "build scale: no banded n={SCALE_N} record for {required} — \
+                 regenerate with `ort bench-build`"
+            ));
+        }
+    }
+
+    let full_table = |band: bool| -> Option<f64> {
+        results
+            .iter()
+            .find(|r| {
+                r.get("scheme").and_then(Json::as_str) == Some("full-table")
+                    && r.get("graph").and_then(Json::as_str) == Some("power_law")
+                    && field(r, "n") == Some(FRESH_N as i64)
+                    && (field(r, "band_rows") < Some(FRESH_N as i64)) == band
+            })
+            .and_then(|r| r.get("build_ms").and_then(Json::as_f64))
+    };
+    let (Some(base_banded), Some(base_full)) = (full_table(true), full_table(false)) else {
+        report.failures.push(format!(
+            "build scale: no full-table n={FRESH_N} power_law banded/full pair in the \
+             snapshot — regenerate with `ort bench-build`"
+        ));
+        return;
+    };
+
+    let _span = ort_telemetry::span("gate.build_scale");
+    let g = generators::power_law_seeded(
+        FRESH_N,
+        crate::bench::SPARSE_M,
+        crate::bench::SPARSE_GAMMA,
+        crate::bench::BENCH_SEED,
+    );
+    // Interleave-and-take-the-min-ratio, as in the APSP scale check.
+    let mut fresh_norm = f64::INFINITY;
+    let band_rows = crate::bench_build::BAND_ROWS;
+    drop(std::hint::black_box(SchemeId::FullTable.build(&g).expect("full-table build")));
+    for _ in 0..3 {
+        let full = best_ms(
+            || drop(std::hint::black_box(SchemeId::FullTable.build(&g).expect("build"))),
+            1,
+        );
+        let banded = best_ms(
+            || {
+                let oracle = ort_graphs::oracle::BandedOracle::new(g.clone(), band_rows);
+                drop(std::hint::black_box(
+                    SchemeId::FullTable.build_with_dists(&g, &oracle).expect("banded build"),
+                ));
+            },
+            1,
+        );
+        fresh_norm = fresh_norm.min(banded / full);
+    }
+    let base_norm = base_banded / base_full;
+    report.lines.push(format!(
+        "build n={FRESH_N} sparse: full-table banded/full ratio baseline {base_norm:.3}, \
+         fresh {fresh_norm:.3}"
+    ));
+    // The snapshot ratio is itself noisy, so the gate allows double the
+    // configured drift before calling a regression — this is a coarse
+    // "banded construction did not fall off a cliff" tripwire, not a
+    // micro-benchmark.
+    if fresh_norm > base_norm * (1.0 + 2.0 * tolerance) {
+        report.failures.push(format!(
+            "build n={FRESH_N} sparse: banded full-table build regressed {:.0}% vs \
+             full-matrix baseline ratio (tolerance {:.0}%)",
+            (fresh_norm / base_norm - 1.0) * 100.0,
+            2.0 * tolerance * 100.0
+        ));
+    }
+}
+
 /// The full gate: loads the baseline (and, when given, the APSP
 /// snapshot), re-measures, and compares.
 ///
@@ -516,6 +659,21 @@ fn check_apsp_scale(doc: &Json, tolerance: f64, report: &mut GateReport) {
 /// measurement fails outright; comparison failures are reported in the
 /// returned [`GateReport`] instead.
 pub fn check(baseline_path: &str, bench_path: Option<&str>) -> Result<GateReport, String> {
+    check_all(baseline_path, bench_path, None)
+}
+
+/// As [`check`], additionally checking the scheme-construction snapshot
+/// (`results/BENCH_build.json`) when given — the `ort bench-gate`
+/// entry point.
+///
+/// # Errors
+///
+/// As [`check`].
+pub fn check_all(
+    baseline_path: &str,
+    bench_path: Option<&str>,
+    build_path: Option<&str>,
+) -> Result<GateReport, String> {
     let _span = ort_telemetry::span("gate.check");
     let text = std::fs::read_to_string(baseline_path)
         .map_err(|e| format!("cannot read {baseline_path}: {e} (run `ort bench-gate --record`)"))?;
@@ -539,6 +697,12 @@ pub fn check(baseline_path: &str, bench_path: Option<&str>) -> Result<GateReport
         let bench = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
         check_apsp_snapshot(&bench, cfg.tolerance, &mut report);
         check_apsp_scale(&bench, cfg.tolerance, &mut report);
+    }
+    if let Some(path) = build_path {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let build = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        check_build_scale(&build, cfg.tolerance, &mut report);
     }
     Ok(report)
 }

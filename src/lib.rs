@@ -25,6 +25,9 @@
 //! * [`bench`] — the APSP engine snapshot behind `ort bench` and
 //!   `results/BENCH_apsp.json` (dense + sparse large-`n` workloads, with
 //!   tile size, cell width and peak oracle bytes per record).
+//! * [`bench_build`] — the scheme-construction snapshot behind
+//!   `ort bench-build` and `results/BENCH_build.json` (banded vs
+//!   full-matrix build time and peak distance bytes at `n` up to 16384).
 //! * [`profile`] — the instrumented single-scheme run behind
 //!   `ort profile` (span tree, counters, per-node bit accounting).
 //! * [`gate`] — the bit-drift and perf-regression gate behind
@@ -64,6 +67,7 @@
 #![forbid(unsafe_code)]
 
 pub mod bench;
+pub mod bench_build;
 pub mod gate;
 pub mod profile;
 pub mod sweep;

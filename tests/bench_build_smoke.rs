@@ -1,0 +1,61 @@
+//! Smoke test for `ort bench-build`: runs the real `n = 1024` cell for a
+//! pair of schemes (one adjacency-based, one APSP-hungry) and checks the
+//! snapshot's record schema — the fields `ort bench-gate` reads back.
+
+use optimal_routing_tables::bench_build::{self, BenchBuildOptions, BAND_ROWS};
+use optimal_routing_tables::conformance::json::Json;
+use optimal_routing_tables::conformance::registry::SchemeId;
+
+#[test]
+fn bench_build_n1024_cell_emits_the_gate_schema() {
+    let dir = std::env::temp_dir().join("ort_bench_build_smoke");
+    let out = dir.join("BENCH_build.json");
+    let opts = BenchBuildOptions {
+        sizes: vec![1024],
+        max_n: 0,
+        // One cheap adjacency-based scheme and one APSP-hungry scheme so
+        // both peak_bytes shapes (one band vs full matrix) appear, while
+        // keeping the debug-build runtime bounded.
+        schemes: vec![SchemeId::Interval, SchemeId::Landmark],
+        out_path: out.to_string_lossy().into_owned(),
+    };
+    let records = bench_build::run(&opts).expect("snapshot runs");
+    // 2 schemes × 2 families × {banded, full}.
+    assert_eq!(records.len(), 8);
+
+    let text = std::fs::read_to_string(&out).expect("snapshot written");
+    let doc = Json::parse(&text).expect("snapshot parses");
+    assert_eq!(doc.get("bench").and_then(Json::as_str), Some("build"));
+    let results = doc.get("results").and_then(Json::as_arr).expect("results array");
+    assert_eq!(results.len(), records.len());
+
+    for r in results {
+        // The load-bearing fields, with their types.
+        let scheme = r.get("scheme").and_then(Json::as_str).expect("scheme is a string");
+        assert!(
+            scheme == "interval" || scheme == "landmark",
+            "unexpected scheme {scheme}"
+        );
+        let n = r.get("n").and_then(Json::as_i64).expect("n is an integer");
+        assert_eq!(n, 1024);
+        let band_rows =
+            r.get("band_rows").and_then(Json::as_i64).expect("band_rows is an integer");
+        assert!(
+            band_rows == BAND_ROWS as i64 || band_rows == n,
+            "band_rows is the band width or n, got {band_rows}"
+        );
+        let peak = r.get("peak_bytes").and_then(Json::as_i64).expect("peak_bytes is an integer");
+        assert!(peak >= 0);
+        let ms = r.get("build_ms").and_then(Json::as_f64).expect("build_ms is a number");
+        assert!(ms.is_finite() && ms >= 0.0);
+        // Banded records must show one-band peaks; the n = 1024 cell is
+        // exactly what the build-scale gate later re-checks at 16384.
+        if band_rows < n {
+            assert!(
+                peak <= 4 * band_rows * n,
+                "{scheme}: banded peak {peak} exceeds one band"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -85,6 +85,55 @@ proptest! {
     }
 
     #[test]
+    fn banded_build_equals_full_width_build(
+        seed in any::<u64>(),
+        n in 8usize..40,
+        band in 1usize..48,
+    ) {
+        // The band-streaming construction contract, sampled: at any band
+        // width, every registry scheme must produce byte-for-byte the
+        // scheme the full-width (whole-matrix-resident) oracle produces —
+        // including identical refusals.
+        use optimal_routing_tables::conformance::registry::SchemeId;
+        use optimal_routing_tables::graphs::oracle::BandedOracle;
+        let g = generators::connected_gnp(n, 0.4, seed % 1000);
+        let band = band.min(n);
+        let full = BandedOracle::new(g.clone(), n);
+        let banded = BandedOracle::new(g.clone(), band);
+        for id in SchemeId::ALL {
+            match (id.build_with_dists(&g, &full), id.build_with_dists(&g, &banded)) {
+                (Ok(a), Ok(b)) => {
+                    for u in 0..n {
+                        prop_assert_eq!(
+                            a.node_bits(u),
+                            b.node_bits(u),
+                            "scheme {} at band width {}: node {} bits differ",
+                            id.name(),
+                            band,
+                            u
+                        );
+                    }
+                }
+                (Err(ea), Err(eb)) => prop_assert_eq!(
+                    ea,
+                    eb,
+                    "scheme {} at band width {}: refusal differs",
+                    id.name(),
+                    band
+                ),
+                (a, b) => prop_assert!(
+                    false,
+                    "scheme {} at band width {}: acceptance differs (full {:?}, banded {:?})",
+                    id.name(),
+                    band,
+                    a.map(|_| ()),
+                    b.map(|_| ())
+                ),
+            }
+        }
+    }
+
+    #[test]
     fn sizes_are_reproducible_and_bit_exact(seed in any::<u64>()) {
         // Building the same scheme twice yields identical bit strings —
         // the encodings are canonical, with no hidden nondeterminism.

@@ -34,6 +34,14 @@ pub enum GraphError {
     },
     /// A bit-level decoding failure.
     Code(CodeError),
+    /// [`Graph::remove_node`] was asked to remove a node that still has
+    /// incident edges.
+    NodeNotIsolated {
+        /// The node that was not isolated.
+        node: NodeId,
+        /// Its remaining degree.
+        degree: usize,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -47,6 +55,9 @@ impl fmt::Display for GraphError {
                 write!(f, "E(G) encoding has {actual} bits, expected {expected}")
             }
             GraphError::Code(e) => write!(f, "encoding error: {e}"),
+            GraphError::NodeNotIsolated { node, degree } => {
+                write!(f, "node {node} still has degree {degree}; detach it before removal")
+            }
         }
     }
 }
@@ -256,6 +267,57 @@ impl Graph {
         Ok(())
     }
 
+    /// Appends a fresh isolated node and returns its id (`n` before the
+    /// call). Churn plans use this to express a join: add the node, then
+    /// attach its links with [`Graph::add_edge`].
+    pub fn add_node(&mut self) -> NodeId {
+        let id = self.n;
+        for row in &mut self.rows {
+            row.push(false);
+        }
+        self.n += 1;
+        self.rows.push(BitVec::zeros(self.n));
+        self.adj.push(Vec::new());
+        id
+    }
+
+    /// Removes node `u`, which must be isolated (degree 0) — detach its
+    /// links first, exactly as a leaving router withdraws its adjacencies
+    /// before disappearing. Every node id above `u` shifts down by one, so
+    /// adjacency lists stay sorted and port numbering (sorted neighbour
+    /// order) stays consistent with the surviving ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] if `u ≥ n` and
+    /// [`GraphError::NodeNotIsolated`] if `u` still has incident edges.
+    pub fn remove_node(&mut self, u: NodeId) -> Result<(), GraphError> {
+        if u >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: u, n: self.n });
+        }
+        let degree = self.adj[u].len();
+        if degree != 0 {
+            return Err(GraphError::NodeNotIsolated { node: u, degree });
+        }
+        self.adj.remove(u);
+        self.rows.remove(u);
+        self.n -= 1;
+        for (w, list) in self.adj.iter_mut().enumerate() {
+            for v in list.iter_mut() {
+                debug_assert_ne!(*v, u, "isolated node had a back-reference");
+                if *v > u {
+                    *v -= 1;
+                }
+            }
+            let mut row = BitVec::zeros(self.n);
+            for &v in list.iter() {
+                row.set(v, true);
+            }
+            self.rows[w] = row;
+        }
+        Ok(())
+    }
+
     fn check_pair(&self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
         if u >= self.n {
             return Err(GraphError::NodeOutOfRange { node: u, n: self.n });
@@ -445,6 +507,87 @@ mod tests {
         assert_eq!(g.edge_count(), 0);
         assert!(!g.has_edge(0, 2));
         g.remove_edge(0, 2).unwrap(); // idempotent
+    }
+
+    #[test]
+    fn add_node_appends_isolated_id() {
+        let mut g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let id = g.add_node();
+        assert_eq!(id, 3);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.degree(3), 0);
+        assert!(!g.has_edge(3, 0));
+        // The widened rows still answer old adjacency correctly.
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 2) && !g.has_edge(0, 2));
+        // The new node is fully usable.
+        g.add_edge(3, 0).unwrap();
+        assert_eq!(g.neighbors(3), &[0]);
+        assert_eq!(g.adjacency_row(3).len(), 4);
+        assert_eq!(g.adjacency_row(0).len(), 4);
+    }
+
+    #[test]
+    fn remove_node_shifts_ids_down() {
+        // Path 0-1-2-3-4; detach and remove node 2; survivors renumber.
+        let mut g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        g.remove_edge(1, 2).unwrap();
+        g.remove_edge(2, 3).unwrap();
+        g.remove_node(2).unwrap();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 2);
+        // Old nodes 3,4 are now 2,3: edges {0,1} and {2,3} survive.
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(2, 3));
+        assert!(!g.has_edge(1, 2));
+        assert_eq!(g.neighbors(2), &[3]);
+        // Rows shrank with the graph and match the rebuilt adjacency.
+        for u in g.nodes() {
+            assert_eq!(g.adjacency_row(u).len(), 4);
+            for v in g.nodes() {
+                assert_eq!(g.has_edge(u, v), g.neighbors(u).contains(&v));
+            }
+        }
+        // Round-trips through the canonical encoding like any other graph.
+        let bits = g.to_edge_bits();
+        assert_eq!(Graph::from_edge_bits(4, &bits).unwrap(), g);
+    }
+
+    #[test]
+    fn remove_node_equals_from_scratch_construction() {
+        let mut g = Graph::from_edges(6, [(0, 5), (1, 4), (2, 3), (0, 2), (4, 5)]).unwrap();
+        g.remove_edge(2, 3).unwrap();
+        g.remove_edge(0, 2).unwrap();
+        g.remove_node(2).unwrap();
+        // Same edges written against the shifted ids, built fresh.
+        let fresh = Graph::from_edges(5, [(0, 4), (1, 3), (3, 4)]).unwrap();
+        assert_eq!(g, fresh);
+    }
+
+    #[test]
+    fn remove_node_rejects_non_isolated_and_out_of_range() {
+        let mut g = Graph::from_edges(3, [(0, 1)]).unwrap();
+        assert!(matches!(
+            g.remove_node(0),
+            Err(GraphError::NodeNotIsolated { node: 0, degree: 1 })
+        ));
+        assert!(matches!(g.remove_node(3), Err(GraphError::NodeOutOfRange { node: 3, n: 3 })));
+        // Node 2 is isolated; removal succeeds and leaves the edge intact.
+        g.remove_node(2).unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn join_then_leave_roundtrip() {
+        let base = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let mut g = base.clone();
+        let id = g.add_node();
+        g.add_edge(id, 0).unwrap();
+        g.add_edge(id, 2).unwrap();
+        g.remove_edge(id, 0).unwrap();
+        g.remove_edge(id, 2).unwrap();
+        g.remove_node(id).unwrap();
+        assert_eq!(g, base);
     }
 
     #[test]

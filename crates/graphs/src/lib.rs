@@ -42,6 +42,7 @@
 
 mod graph;
 
+pub mod delta;
 pub mod dist;
 pub mod generators;
 pub mod graph6;

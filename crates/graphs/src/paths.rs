@@ -595,6 +595,26 @@ impl Apsp {
         Arc::new(self)
     }
 
+    /// The backing cell store (crate-internal: the delta-repair oracle
+    /// reads rows wholesale instead of going cell by cell).
+    pub(crate) fn store(&self) -> &DistStore {
+        &self.dist
+    }
+
+    /// Mutable backing cell store (crate-internal: the delta-repair
+    /// oracle patches dirty rows and mirrored columns in place).
+    pub(crate) fn store_mut(&mut self) -> &mut DistStore {
+        &mut self.dist
+    }
+
+    /// Replaces the matrix wholesale (crate-internal: node join/leave
+    /// restructures the store without re-running any traversal).
+    pub(crate) fn replace_store(&mut self, n: usize, dist: DistStore) {
+        assert_eq!(dist.len(), n * n, "store must hold n² cells");
+        self.n = n;
+        self.dist = dist;
+    }
+
     /// Number of nodes the matrix covers.
     #[must_use]
     pub fn node_count(&self) -> usize {

@@ -31,6 +31,9 @@
 //!   [`schemes::full_information`] (Θ(n³), failover-capable),
 //!   [`schemes::interval`] and [`schemes::landmark`] (related-work
 //!   baselines).
+//! * [`repair`] — churn survival: [`repair::RepairableScheme`] pairs a
+//!   delta-repaired distance oracle with dirty-region table patching
+//!   (full table) or whole-scheme rebuild (everything else).
 //! * [`verify`] — exhaustive delivery/stretch verification of any scheme.
 //! * [`explain`] — hop-by-hop stretch attribution of captured route
 //!   traces against a distance oracle.
@@ -45,6 +48,7 @@ pub mod bounds;
 pub mod explain;
 pub mod lower_bounds;
 pub mod model;
+pub mod repair;
 pub mod snapshot;
 pub mod scheme;
 pub mod schemes;

@@ -196,6 +196,115 @@ impl FullTableScheme {
     ) -> Self {
         FullTableScheme { model, bits, labeling, ports }
     }
+
+    /// The minimal label value of `u` (patching rejects γ labellings up
+    /// front, so the match cannot fail).
+    fn minimal_label(&self, u: NodeId) -> usize {
+        match self.labeling.label_of(u) {
+            Label::Minimal(l) => l,
+            Label::Bits(_) => unreachable!("patch requires minimal labels"),
+        }
+    }
+
+    /// Patches the table in place after the edge delta `endpoints` was
+    /// applied to `g`, given the exact dirty source set `dirty` from the
+    /// oracle repair (`ort_graphs::delta`).
+    ///
+    /// An entry `(u → t)` depends only on `t`'s distance row restricted
+    /// to `u ∪ N(u)` and on `u`'s port numbering, so the delta can only
+    /// move:
+    ///
+    /// * the **endpoint rows** — degree changed, hence entry width and
+    ///   port numbering: both endpoint tables are rebuilt whole;
+    /// * entries **toward dirty destinations** at every other node —
+    ///   same width, same ports: the stale entry is bit-spliced.
+    ///
+    /// The port assignment is re-derived as `sorted(g)` (it differs from
+    /// the old one only at the endpoints), so this path is only valid for
+    /// schemes built with sorted ports — which is what the repair layer
+    /// constructs. Returns the number of entries rewritten.
+    ///
+    /// # Errors
+    ///
+    /// As [`FullTableScheme::build_with_dists`]: the oracle must be exact,
+    /// match `g`, and see a connected graph; the labelling must be minimal.
+    pub(crate) fn patch_edge_delta(
+        &mut self,
+        g: &Graph,
+        dists: &dyn Distances,
+        endpoints: [NodeId; 2],
+        dirty: &[NodeId],
+    ) -> Result<usize, SchemeError> {
+        if self.labeling.is_charged() {
+            return Err(SchemeError::Precondition {
+                reason: "full table requires minimal (α/β) labels".into(),
+            });
+        }
+        crate::schemes::check_exact_oracle(g, dists)?;
+        let n = g.node_count();
+        if self.bits.len() != n {
+            return Err(SchemeError::Precondition {
+                reason: "patched scheme does not match the graph".into(),
+            });
+        }
+        let _span = ort_telemetry::span_with(
+            "repair.scheme_patch",
+            &[
+                ("n", ort_telemetry::FieldValue::Int(n as u64)),
+                ("dirty", ort_telemetry::FieldValue::Int(dirty.len() as u64)),
+            ],
+        );
+        self.ports = PortAssignment::sorted(g);
+        let mut patched = 0usize;
+        for &u in &endpoints {
+            let width = bits_to_index(g.degree(u) as u64);
+            let mut w = BitWriter::with_capacity((n - 1) * width as usize);
+            for dest_label in 0..n {
+                let t = self.labeling.node_of_minimal(dest_label).expect("minimal labels cover 0..n");
+                if t == u {
+                    continue;
+                }
+                let hop = dists
+                    .first_hop_toward(g, u, t)
+                    .ok_or(SchemeError::Disconnected)?;
+                let port = self.ports.port_to(u, hop).expect("hop is a neighbour");
+                w.write_bits(port as u64, width)?;
+                patched += 1;
+            }
+            self.bits[u] = w.finish();
+        }
+        for &t in dirty {
+            if t >= n {
+                return Err(SchemeError::NodeOutOfRange { node: t });
+            }
+            let dest_l = self.minimal_label(t);
+            for u in 0..n {
+                if u == t || endpoints.contains(&u) {
+                    continue;
+                }
+                let width = bits_to_index(g.degree(u) as u64) as usize;
+                if width == 0 {
+                    // Degree ≤ 1: the entry stores zero bits (port 0 is
+                    // implicit), nothing to splice.
+                    continue;
+                }
+                let hop = dists
+                    .first_hop_toward(g, u, t)
+                    .ok_or(SchemeError::Disconnected)?;
+                let port = self.ports.port_to(u, hop).expect("hop is a neighbour");
+                let own_l = self.minimal_label(u);
+                let index = if dest_l < own_l { dest_l } else { dest_l - 1 };
+                let base = index * width;
+                // write_bits is MSB-first: offset k holds value bit
+                // (width − 1 − k).
+                for k in 0..width {
+                    self.bits[u].set(base + k, (port >> (width - 1 - k)) & 1 == 1);
+                }
+                patched += 1;
+            }
+        }
+        Ok(patched)
+    }
 }
 
 impl RoutingScheme for FullTableScheme {

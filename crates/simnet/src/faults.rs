@@ -509,17 +509,19 @@ fn key(u: NodeId, v: NodeId) -> (NodeId, NodeId) {
 }
 
 /// The splitmix-style LCG used for seeded plans — explicit so fault plans
-/// never depend on an external RNG's stream ordering.
-struct Lcg {
+/// never depend on an external RNG's stream ordering. Crate-visible: the
+/// churn generator draws from the same family so fault and churn
+/// schedules share one determinism story.
+pub(crate) struct Lcg {
     state: u64,
 }
 
 impl Lcg {
-    fn new(seed: u64) -> Self {
+    pub(crate) fn new(seed: u64) -> Self {
         Lcg { state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x6A09_E667_F3BC_C909) }
     }
 
-    fn next_u64(&mut self) -> u64 {
+    pub(crate) fn next_u64(&mut self) -> u64 {
         // splitmix64
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.state;

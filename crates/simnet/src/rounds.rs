@@ -125,12 +125,18 @@ impl Default for RetryPolicy {
 impl RetryPolicy {
     /// The backoff before retry number `attempt + 1`:
     /// `min(backoff_base · 2^attempt, backoff_cap)`, at least 1 round.
+    ///
+    /// The exponent is capped at 32 before shifting: past that point the
+    /// uncapped product already exceeds any `u32` cap, so the result is
+    /// `backoff_cap` for every larger attempt count. (A plain `u32 << 63`
+    /// would be UB-adjacent `checked_shl` → `None`, and worse, `u32`
+    /// arithmetic silently wraps the *value* for attempts just under the
+    /// width — base 2 at attempt 31 used to come out as 1 round, not the
+    /// cap.)
     #[must_use]
     pub fn backoff(&self, attempt: u32) -> u32 {
-        self.backoff_base
-            .checked_shl(attempt)
-            .map_or(self.backoff_cap, |b| b.min(self.backoff_cap))
-            .max(1)
+        let raw = u64::from(self.backoff_base) << attempt.min(32);
+        (u64::min(raw, u64::from(self.backoff_cap)) as u32).max(1)
     }
 }
 
@@ -666,6 +672,29 @@ mod tests {
         assert_eq!(report.errored, report.errored_by.total() as usize);
         assert_eq!(report.stranded, 0);
         assert_eq!(report.delivered + report.errored, workload.len());
+    }
+
+    #[test]
+    fn backoff_saturates_at_cap_for_huge_attempt_counts() {
+        let p = RetryPolicy { max_retries: 1000, backoff_base: 2, backoff_cap: 100 };
+        assert_eq!(p.backoff(0), 2);
+        assert_eq!(p.backoff(1), 4);
+        assert_eq!(p.backoff(5), 64);
+        assert_eq!(p.backoff(6), 100, "first capped attempt");
+        // The shift used to wrap the value (2 << 31 == 0 in u32) or bail to
+        // None only at shift ≥ 32; long churn horizons reach both regimes.
+        assert_eq!(p.backoff(30), 100);
+        assert_eq!(p.backoff(31), 100, "value-overflow regime");
+        assert_eq!(p.backoff(32), 100, "shift-overflow regime");
+        for attempt in [64, 100, 1000, u32::MAX] {
+            assert_eq!(p.backoff(attempt), 100, "attempt {attempt}");
+        }
+        // Degenerate base still waits at least one round.
+        let z = RetryPolicy { max_retries: 1, backoff_base: 0, backoff_cap: 8 };
+        assert_eq!(z.backoff(64), 1);
+        // A cap at u32::MAX with base 1: 2^32 exceeds it, so it saturates.
+        let m = RetryPolicy { max_retries: 1, backoff_base: 1, backoff_cap: u32::MAX };
+        assert_eq!(m.backoff(64), u32::MAX);
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! ort bench-gate [--record]               bit-drift + perf-regression gate
 //! ort conformance [out.json]              run the full conformance suite
 //! ort resilience  [--verbose] [out.json]  fault-intensity sweep over all schemes
+//! ort churn [--out p] [--max-n N]         continuous-churn repair sweep
+
 //! ort trace <scheme> --n N --seed S [--src A --dst B | --worst]
 //!                                         capture one walk, explain its stretch
 //! ort schemes                             list available schemes
@@ -47,11 +49,12 @@ fn usage() -> ExitCode {
     eprintln!("  ort bench   [--out p] [--max-n N]        (default results/BENCH_apsp.json)");
     eprintln!("  ort bench-build [--out p] [--max-n N] [--schemes a,b]");
     eprintln!("                                           (default results/BENCH_build.json)");
-    eprintln!("  ort bench-gate [--record] [--baseline p] [--bench p] [--build p]");
+    eprintln!("  ort bench-gate [--record] [--baseline p] [--bench p] [--build p] [--churn p]");
     eprintln!("  ort save    <scheme> <n> <seed> <file>   (snapshot-capable schemes)");
     eprintln!("  ort load    <file> <src> <dst>");
     eprintln!("  ort conformance [out.json]               (default results/CONFORMANCE.json)");
     eprintln!("  ort resilience [--verbose] [out.json]    (default results/RESILIENCE.json)");
+    eprintln!("  ort churn   [--out p] [--max-n N]        (default results/CHURN.json, max-n 1024)");
     eprintln!("  ort trace   <scheme> [--n N] [--seed S] (--src A --dst B | --worst)");
     eprintln!("  ort schemes");
     ExitCode::FAILURE
@@ -209,6 +212,7 @@ fn run() -> Result<(), String> {
             let mut baseline = gate::DEFAULT_BASELINE.to_string();
             let mut bench = Some(gate::DEFAULT_BENCH.to_string());
             let mut build = Some(gate::DEFAULT_BUILD_BENCH.to_string());
+            let mut churn = Some(gate::DEFAULT_CHURN.to_string());
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -224,6 +228,10 @@ fn run() -> Result<(), String> {
                         let p = it.next().ok_or("--build needs a path (or 'none')")?;
                         build = (p != "none").then(|| p.clone());
                     }
+                    "--churn" => {
+                        let p = it.next().ok_or("--churn needs a path (or 'none')")?;
+                        churn = (p != "none").then(|| p.clone());
+                    }
                     other => return Err(format!("unknown argument '{other}'")),
                 }
             }
@@ -232,7 +240,8 @@ fn run() -> Result<(), String> {
                 println!("wrote {baseline}");
                 return Ok(());
             }
-            let report = gate::check_all(&baseline, bench.as_deref(), build.as_deref())?;
+            let report =
+                gate::check_all(&baseline, bench.as_deref(), build.as_deref(), churn.as_deref())?;
             for line in &report.lines {
                 println!("{line}");
             }
@@ -404,6 +413,41 @@ fn run() -> Result<(), String> {
                     eprintln!("violation: {v}");
                 }
                 Err(format!("resilience: FAIL ({} violations)", outcome.violations.len()))
+            }
+        }
+        Some("churn") => {
+            use optimal_routing_tables::churn;
+            let (flags, positional) = parse_flags(&args[1..], &["out", "max-n"])?;
+            if positional.len() > 1 {
+                return Err(format!("unexpected argument '{}'", positional[1]));
+            }
+            let mut opts = churn::ChurnOptions::default();
+            if let Some(p) = positional.first() {
+                opts.out_path = p.clone();
+            }
+            for (flag, value) in &flags {
+                match flag.as_str() {
+                    "out" => opts.out_path = value.clone(),
+                    "max-n" => opts.max_n = value.parse().map_err(|_| "invalid --max-n")?,
+                    _ => unreachable!("parse_flags filters"),
+                }
+            }
+            let outcome = churn::churn_sweep(&opts, |line| println!("{line}"))?;
+            if let Some(dir) = std::path::Path::new(&opts.out_path).parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+                }
+            }
+            std::fs::write(&opts.out_path, outcome.report.pretty()).map_err(|e| e.to_string())?;
+            println!("wrote {}", opts.out_path);
+            if outcome.violations.is_empty() {
+                println!("churn: PASS");
+                Ok(())
+            } else {
+                for v in &outcome.violations {
+                    eprintln!("violation: {v}");
+                }
+                Err(format!("churn: FAIL ({} violations)", outcome.violations.len()))
             }
         }
         Some("trace") => {

@@ -38,6 +38,15 @@ pub const DEFAULT_BASELINE: &str = "results/TELEMETRY_BASELINE.json";
 pub const DEFAULT_BENCH: &str = "results/BENCH_apsp.json";
 /// Default scheme-construction snapshot path (written by `ort bench-build`).
 pub const DEFAULT_BUILD_BENCH: &str = "results/BENCH_build.json";
+/// Default churn report path (written by `ort churn`).
+pub const DEFAULT_CHURN: &str = "results/CHURN.json";
+
+/// Minimum speedup of a patched single-link repair over a cold
+/// full-table rebuild at [`CHURN_GATE_N`] nodes. Below this the
+/// incremental path has lost its reason to exist.
+pub const REPAIR_SPEEDUP_FLOOR: f64 = 5.0;
+/// Graph size for the fresh repair-vs-rebuild measurement.
+pub const CHURN_GATE_N: usize = 4096;
 
 /// Measurement plan: sizes, graph seed, timing repetitions, and the
 /// relative timing tolerance stored into (and read back from) the
@@ -650,6 +659,122 @@ fn check_build_scale(doc: &Json, tolerance: f64, report: &mut GateReport) {
     }
 }
 
+/// Churn gate: static checks on the checked-in `results/CHURN.json`
+/// (written by `ort churn`) plus a fresh repair-vs-rebuild speed
+/// measurement.
+///
+/// The static half re-asserts what the sweep already judged — the
+/// document must self-report `pass`, every applied event must have left
+/// the repaired scheme byte-identical to a cold build, the in-place
+/// patch path must actually have run, and a cell at `n ≥ 1024` must be
+/// present (the smoke configuration is not allowed to shrink the
+/// checked-in artifact).
+///
+/// The fresh half measures the one claim the deterministic document
+/// cannot carry: at `n = `[`CHURN_GATE_N`], toggling a provably local
+/// link (a chord between two pendant nodes hanging off the same hub —
+/// its dirty set is exactly the two endpoints) through
+/// [`RepairableScheme`] must be at least [`REPAIR_SPEEDUP_FLOOR`]×
+/// faster than rebuilding the full-table scheme from scratch.
+/// Interleave-and-take-the-min, as in the other scale checks.
+///
+/// [`RepairableScheme`]: ort_routing::repair::RepairableScheme
+fn check_churn(doc: &Json, report: &mut GateReport) {
+    use ort_routing::repair::RepairableScheme;
+    use ort_routing::schemes::full_table::FullTableScheme;
+
+    // --- static checks on the checked-in document ---
+    if !matches!(doc.get("pass"), Some(Json::Bool(true))) {
+        report.failures.push("churn: checked-in report does not self-report pass".into());
+    }
+    let Some(cells) = doc.get("cells").and_then(Json::as_arr) else {
+        report.failures.push("churn: report has no 'cells' array".into());
+        return;
+    };
+    let mut patches_total = 0i64;
+    let mut has_large_cell = false;
+    for cell in cells {
+        let name = cell.get("name").and_then(Json::as_str).unwrap_or("?");
+        let applied = cell.get("events_applied").and_then(Json::as_i64).unwrap_or(-1);
+        let byte_ok = cell
+            .get("checks")
+            .and_then(|c| c.get("byte_identical_steps"))
+            .and_then(Json::as_i64)
+            .unwrap_or(-2);
+        if applied <= 0 {
+            report.failures.push(format!("churn: cell {name} applied no events"));
+        }
+        if byte_ok != applied {
+            report.failures.push(format!(
+                "churn: cell {name} byte-identical on {byte_ok} of {applied} steps — \
+                 repair diverged from cold rebuild"
+            ));
+        }
+        patches_total += cell
+            .get("repair")
+            .and_then(|r| r.get("patches"))
+            .and_then(Json::as_i64)
+            .unwrap_or(0);
+        has_large_cell |= cell.get("n0").and_then(Json::as_i64).is_some_and(|n| n >= 1024);
+    }
+    if patches_total == 0 {
+        report.failures.push("churn: no cell exercised the in-place patch path".into());
+    }
+    if !has_large_cell {
+        report.failures.push(
+            "churn: no cell at n ≥ 1024 in the checked-in report — regenerate with `ort churn`"
+                .into(),
+        );
+    }
+    report.lines.push(format!(
+        "churn: {} cells, {patches_total} in-place patches, byte-identical throughout",
+        cells.len()
+    ));
+
+    // --- fresh repair-vs-rebuild measurement ---
+    let _span = ort_telemetry::span("gate.churn");
+    let mut g = generators::power_law_seeded(
+        CHURN_GATE_N - 2,
+        crate::bench::SPARSE_M,
+        crate::bench::SPARSE_GAMMA,
+        crate::bench::BENCH_SEED,
+    );
+    // Two pendants x, y off node 0: toggling the chord {x, y} changes
+    // only d(x, y) (2 ↔ 1), so the repair's dirty set is exactly {x, y}
+    // — the most localized delta a connected graph admits.
+    let x = g.add_node();
+    let y = g.add_node();
+    g.add_edge(x, 0).expect("pendant link");
+    g.add_edge(y, 0).expect("pendant link");
+    let mut repairable = RepairableScheme::full_table(g.clone()).expect("churn gate build");
+    // Warm both directions of the toggle once.
+    repairable.add_link(x, y).expect("toggle on");
+    repairable.remove_link(x, y).expect("toggle off");
+    let mut repair_ms = f64::INFINITY;
+    let mut rebuild_ms = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        repairable.add_link(x, y).expect("toggle on");
+        repairable.remove_link(x, y).expect("toggle off");
+        repair_ms = repair_ms.min(t.elapsed().as_secs_f64() * 1000.0 / 2.0);
+        rebuild_ms = rebuild_ms.min(best_ms(
+            || drop(std::hint::black_box(FullTableScheme::build(&g).expect("cold build"))),
+            1,
+        ));
+    }
+    let speedup = rebuild_ms / repair_ms.max(1e-6);
+    report.lines.push(format!(
+        "churn n={CHURN_GATE_N}: single-link repair {repair_ms:.2} ms vs cold rebuild \
+         {rebuild_ms:.1} ms — {speedup:.0}x"
+    ));
+    if speedup < REPAIR_SPEEDUP_FLOOR {
+        report.failures.push(format!(
+            "churn n={CHURN_GATE_N}: single-link repair only {speedup:.1}x faster than a cold \
+             rebuild (floor {REPAIR_SPEEDUP_FLOOR}x) — the incremental path has collapsed"
+        ));
+    }
+}
+
 /// The full gate: loads the baseline (and, when given, the APSP
 /// snapshot), re-measures, and compares.
 ///
@@ -659,12 +784,13 @@ fn check_build_scale(doc: &Json, tolerance: f64, report: &mut GateReport) {
 /// measurement fails outright; comparison failures are reported in the
 /// returned [`GateReport`] instead.
 pub fn check(baseline_path: &str, bench_path: Option<&str>) -> Result<GateReport, String> {
-    check_all(baseline_path, bench_path, None)
+    check_all(baseline_path, bench_path, None, None)
 }
 
 /// As [`check`], additionally checking the scheme-construction snapshot
-/// (`results/BENCH_build.json`) when given — the `ort bench-gate`
-/// entry point.
+/// (`results/BENCH_build.json`) and the churn report
+/// (`results/CHURN.json`) when given — the `ort bench-gate` entry
+/// point.
 ///
 /// # Errors
 ///
@@ -673,6 +799,7 @@ pub fn check_all(
     baseline_path: &str,
     bench_path: Option<&str>,
     build_path: Option<&str>,
+    churn_path: Option<&str>,
 ) -> Result<GateReport, String> {
     let _span = ort_telemetry::span("gate.check");
     let text = std::fs::read_to_string(baseline_path)
@@ -703,6 +830,12 @@ pub fn check_all(
             std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         let build = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
         check_build_scale(&build, cfg.tolerance, &mut report);
+    }
+    if let Some(path) = churn_path {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let churn = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        check_churn(&churn, &mut report);
     }
     Ok(report)
 }

@@ -37,6 +37,9 @@
 //! * [`sweep`] — the fault-intensity sweep behind `ort resilience`,
 //!   including its trace-backed diagnostics
 //!   (`results/RESILIENCE_DIAGNOSTICS.json`).
+//! * [`churn`] — the continuous-churn sweep behind `ort churn` and
+//!   `results/CHURN.json` (incremental repair vs cold rebuild,
+//!   byte-identity and verify-equality after every event).
 //!
 //! # Quickstart
 //!
@@ -68,6 +71,7 @@
 
 pub mod bench;
 pub mod bench_build;
+pub mod churn;
 pub mod gate;
 pub mod profile;
 pub mod sweep;

@@ -110,18 +110,20 @@ fn jsonl_stream_round_trips() {
     assert_eq!(parsed.spans[1].path, vec!["rt_outer"]);
 }
 
-/// Running the CLI with every sink active produces `CONFORMANCE.json` and
-/// `RESILIENCE.json` byte-identical to the checked-in snapshots: the
-/// observability layer observes, it never perturbs. (The telemetry-*off*
-/// half of the guarantee is CI's `--no-default-features` regeneration
-/// diff — one binary cannot toggle a compile-time feature.)
+/// Running the CLI with every sink active produces `CONFORMANCE.json`,
+/// `RESILIENCE.json` and `CHURN.json` byte-identical to the checked-in
+/// snapshots: the observability layer observes, it never perturbs. (The
+/// telemetry-*off* half of the guarantee is CI's `--no-default-features`
+/// regeneration diff — one binary cannot toggle a compile-time feature.)
 #[test]
 fn result_files_are_byte_identical_with_sinks_active() {
     let _serial = LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     let exe = env!("CARGO_BIN_EXE_ort");
-    for (cmd, checked_in) in
-        [("conformance", "results/CONFORMANCE.json"), ("resilience", "results/RESILIENCE.json")]
-    {
+    for (cmd, checked_in) in [
+        ("conformance", "results/CONFORMANCE.json"),
+        ("resilience", "results/RESILIENCE.json"),
+        ("churn", "results/CHURN.json"),
+    ] {
         let out = std::env::temp_dir().join(format!("ort-telemetry-guard-{cmd}.json"));
         let jsonl = std::env::temp_dir().join(format!("ort-telemetry-guard-{cmd}.jsonl"));
         let status = std::process::Command::new(exe)

@@ -140,7 +140,12 @@ pub fn diff_graph(g: &Graph, stride: usize) -> GraphDiff {
             disagreements: Vec::new(),
         };
         match id.build(g) {
-            Err(e) => diff.refusal = Some(e.to_string()),
+            Err(e) => {
+                // A refusal is legitimate here, but it is exactly the
+                // kind of event a post-mortem wants context for.
+                ort_telemetry::recorder::anomaly("scheme_refusal", id as u64, n as u64);
+                diff.refusal = Some(e.to_string());
+            }
             Ok(scheme) => {
                 for s in 0..n {
                     for t in 0..n {
@@ -177,6 +182,11 @@ pub fn diff_graph(g: &Graph, stride: usize) -> GraphDiff {
                                 }
                                 if let Some(cap) = id.hop_cap(n, dist) {
                                     if hops > cap {
+                                        ort_telemetry::recorder::anomaly(
+                                            "stretch_cap_breach",
+                                            u64::from(hops),
+                                            u64::from(cap),
+                                        );
                                         diff.disagreements.push(Disagreement {
                                             scheme: id.name(),
                                             s,

@@ -104,6 +104,43 @@ impl Json {
         s
     }
 
+    /// Serializes on one line, no trailing newline — the JSONL form used
+    /// by `results/HISTORY.jsonl`.
+    #[must_use]
+    pub fn compact(&self) -> String {
+        let mut s = String::new();
+        self.write_compact(&mut s);
+        s
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).write(out, 0);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+            scalar => scalar.write(out, 0),
+        }
+    }
+
     fn write(&self, out: &mut String, depth: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -405,6 +442,19 @@ mod tests {
         assert_eq!(back.get("stretch").and_then(Json::as_f64), Some(1.5));
         assert_eq!(back.get("name").and_then(Json::as_str), Some("a \"b\"\n\u{3b2}"));
         assert_eq!(back.get("xs").and_then(Json::as_arr).map(<[Json]>::len), Some(2));
+    }
+
+    #[test]
+    fn compact_is_one_line_and_parses_back() {
+        let v = Json::obj(vec![
+            ("file", Json::Str("X.json".into())),
+            ("schema", Json::Int(1)),
+            ("xs", Json::Arr(vec![Json::Int(1), Json::Bool(false)])),
+        ]);
+        let line = v.compact();
+        assert!(!line.contains('\n'));
+        assert_eq!(line, "{\"file\":\"X.json\",\"schema\":1,\"xs\":[1,false]}");
+        assert_eq!(Json::parse(&line).unwrap().pretty(), v.pretty());
     }
 
     #[test]

@@ -255,6 +255,10 @@ impl DeltaOracle {
             }
         }
         ort_telemetry::counter!("repair.dirty_nodes").add(dirty.len() as u64);
+        // Distribution of how much of the oracle each delta invalidates:
+        // ⌊1000·|dirty|/n⌋ per repair, the quantity the dirty-fraction
+        // fallback thresholds on.
+        ort_telemetry::hist!("repair.dirty_frac_x1000").record(dirty.len() as u64 * 1000 / n as u64);
         self.stats.dirty_nodes += dirty.len() as u64;
 
         if dirty.is_empty() {

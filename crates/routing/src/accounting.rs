@@ -52,7 +52,8 @@ impl BitBreakdown {
     #[must_use]
     pub fn of(scheme: &dyn RoutingScheme) -> BitBreakdown {
         let _span = ort_telemetry::span("accounting.breakdown");
-        let nodes = (0..scheme.node_count())
+        let mut bits_h = ort_telemetry::LocalHist::new();
+        let nodes: Vec<NodeBits> = (0..scheme.node_count())
             .map(|u| {
                 let stored = scheme.node_size_bits(u);
                 let perm = scheme.port_permutation_bits(u);
@@ -60,13 +61,18 @@ impl BitBreakdown {
                     perm <= stored,
                     "node {u}: permutation bits {perm} exceed stored bits {stored}"
                 );
-                NodeBits {
+                let nb = NodeBits {
                     routing: stored.saturating_sub(perm),
                     port_permutation: perm,
                     label: scheme.charged_size_bits(u) - stored,
-                }
+                };
+                bits_h.record(nb.total() as u64);
+                nb
             })
             .collect();
+        // The paper's Table 1 quantities are *distributions* of per-node
+        // bits; publish them as one (node-ordered, hence deterministic).
+        bits_h.merge_into(ort_telemetry::hist!("accounting.bits_per_node"));
         BitBreakdown { nodes }
     }
 

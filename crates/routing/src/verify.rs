@@ -142,6 +142,7 @@ pub fn route_pair_traced(
         cur = next;
     }
     tracer.hit(cur, state.counter, HopKind::HopLimit { limit: max_hops as u64 });
+    ort_telemetry::recorder::anomaly("hop_limit_death", s as u64, t as u64);
     Err(RouteFailure::HopLimit { limit: max_hops })
 }
 
@@ -358,6 +359,7 @@ fn verify_with(
             ("stride", ort_telemetry::FieldValue::Int(stride as u64)),
         ],
     );
+    let t0 = std::time::Instant::now();
     let partials = map_sources(n, |s| {
         let mut p = VerifyReport {
             delivered: 0,
@@ -402,6 +404,27 @@ fn verify_with(
     }
     ort_telemetry::counter!("verify.pairs").add((report.delivered + report.failures.len()) as u64);
     ort_telemetry::counter!("verify.hops").add(report.total_hops);
+    if ort_telemetry::enabled() {
+        // Distribution view of the same data: per-pair hop counts and
+        // stretch×1000 (⌊1000·hops/dist⌋). Accumulated locally over the
+        // merged (source-ordered) stretch list and published with one
+        // atomic merge — byte-identical under any ORT_THREADS.
+        let mut hops_h = ort_telemetry::LocalHist::new();
+        let mut stretch_h = ort_telemetry::LocalHist::new();
+        for &(hops, dist) in &report.stretches {
+            hops_h.record(u64::from(hops));
+            if dist > 0 {
+                stretch_h.record(u64::from(hops) * 1000 / u64::from(dist));
+            }
+        }
+        hops_h.merge_into(ort_telemetry::hist!("verify.hops"));
+        stretch_h.merge_into(ort_telemetry::hist!("verify.stretch_x1000"));
+    }
+    // Wall-clock per verification pass: a *timing* histogram, so its
+    // buckets are tagged non-deterministic and skipped by byte-identity
+    // guards.
+    ort_telemetry::timing_hist!("verify.micros")
+        .record(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
     Ok(report)
 }
 

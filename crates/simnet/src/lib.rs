@@ -398,6 +398,7 @@ impl<'a> Network<'a> {
                 self.stats.delivered += 1;
                 self.stats.total_hops += d.hops() as u64;
                 ort_telemetry::counter!("simnet.hops").add(d.hops() as u64);
+                ort_telemetry::hist!("simnet.hops").record(d.hops() as u64);
                 // Every node that transmitted the message carries load.
                 for &x in &d.path[..d.path.len() - 1] {
                     self.loads[x] += 1;
@@ -478,6 +479,7 @@ impl<'a> Network<'a> {
                         tracer.hit(cur, state.counter, HopKind::Deliver);
                         self.stats.reroutes += reroutes;
                         ort_telemetry::counter!("simnet.reroutes").add(reroutes);
+                        ort_telemetry::hist!("simnet.reroutes").record(reroutes);
                         Ok(Delivery { path })
                     } else {
                         tracer.hit(cur, state.counter, HopKind::Misdelivered);
@@ -563,6 +565,9 @@ impl<'a> Network<'a> {
             cur = next;
         }
         tracer.hit(cur, 0, HopKind::HopLimit { limit: self.hop_limit as u64 });
+        // A message that walks the full hop budget without delivering is
+        // an anomaly worth a post-mortem: dump the flight recorder.
+        ort_telemetry::recorder::anomaly("hop_limit_death", s as u64, t as u64);
         Err(SimError::HopLimit { limit: self.hop_limit })
     }
 

@@ -61,11 +61,14 @@
 #![warn(missing_docs)]
 
 pub mod counter;
+pub mod hist;
+pub mod recorder;
 pub mod sink;
 pub mod span;
 pub mod trace;
 
 pub use counter::{Counter, Gauge};
+pub use hist::{Hist, HistData, LocalHist};
 pub use sink::{ParsedField, ParsedSnapshot, ParsedSpan, Snapshot};
 pub use span::{span, span_with, Context, ContextGuard, FieldValue, SpanGuard, SpanRecord};
 pub use trace::{
@@ -80,20 +83,28 @@ pub const fn enabled() -> bool {
     cfg!(feature = "enabled")
 }
 
-/// Clears all span records and zeroes every counter and gauge. Explicit
-/// and test/CLI-only: workloads themselves never clear telemetry state
-/// (the registry is append-only while they run).
+/// Clears all span records, zeroes every counter, gauge, and histogram,
+/// and empties the flight-recorder ring. Explicit and test/CLI-only:
+/// workloads themselves never clear telemetry state (the registry is
+/// append-only while they run).
 pub fn reset() {
     span::clear_records();
     counter::zero_all();
+    hist::zero_all();
+    recorder::clear();
 }
 
 /// Captures the current telemetry state: all completed span records (in
-/// completion order) and all counter/gauge values (summed per name,
-/// sorted by name).
+/// completion order), all counter/gauge values (summed per name, sorted
+/// by name), and all histograms (merged per name, sorted by name).
 #[must_use]
 pub fn snapshot() -> Snapshot {
-    Snapshot { spans: span::records(), counters: counter::counter_values(), gauges: counter::gauge_values() }
+    Snapshot {
+        spans: span::records(),
+        counters: counter::counter_values(),
+        gauges: counter::gauge_values(),
+        hists: hist::hist_values(),
+    }
 }
 
 /// The sink selection parsed from `ORT_TELEMETRY`.
@@ -101,9 +112,12 @@ pub fn snapshot() -> Snapshot {
 /// The variable holds a comma-separated list of sinks:
 ///
 /// * `summary` — human-readable span tree + counter table on stderr;
-/// * `jsonl:<path>` — one JSON object per span record / counter / gauge;
+/// * `jsonl:<path>` — one JSON object per span record / counter / gauge /
+///   histogram;
 /// * `folded:<path>` — flamegraph-compatible folded stacks
-///   (`a;b;c <ns>` lines).
+///   (`a;b;c <ns>` lines);
+/// * `postmortem:<path>` — flight-recorder dumps appended on anomaly
+///   triggers (written by [`recorder::anomaly`], not by [`flush`]).
 ///
 /// Unset, empty, or `off` means no sink; unknown entries are reported on
 /// stderr and skipped.
@@ -147,8 +161,10 @@ pub fn flush() {
             if let Err(e) = std::fs::write(path, snap.folded()) {
                 eprintln!("telemetry: cannot write folded sink {path}: {e}");
             }
+        } else if s.starts_with("postmortem:") {
+            // Event-driven, not flush-driven: recorder::anomaly writes it.
         } else {
-            eprintln!("telemetry: unknown ORT_TELEMETRY sink '{s}' (expected summary, jsonl:<path>, folded:<path>)");
+            eprintln!("telemetry: unknown ORT_TELEMETRY sink '{s}' (expected summary, jsonl:<path>, folded:<path>, postmortem:<path>)");
         }
     }
 }

@@ -14,6 +14,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+use crate::hist::HistData;
 use crate::span::{FieldValue, SpanRecord};
 
 /// Per-path aggregate used while building the summary tree:
@@ -29,6 +30,8 @@ pub struct Snapshot {
     pub counters: Vec<(&'static str, u64)>,
     /// Gauge values, sorted by name.
     pub gauges: Vec<(&'static str, u64)>,
+    /// Histograms, merged per name, sorted by name.
+    pub hists: Vec<HistData>,
 }
 
 impl Snapshot {
@@ -48,6 +51,12 @@ impl Snapshot {
     #[must_use]
     pub fn gauge(&self, name: &str) -> u64 {
         self.gauges.iter().find(|(n, _)| *n == name).map_or(0, |&(_, v)| v)
+    }
+
+    /// The named histogram, if any samples were recorded.
+    #[must_use]
+    pub fn hist(&self, name: &str) -> Option<&HistData> {
+        self.hists.iter().find(|h| h.name == name)
     }
 
     /// Every distinct span path, in first-completion order.
@@ -85,40 +94,20 @@ impl Snapshot {
         if self.spans.is_empty() {
             out.push_str("(no spans recorded)\n");
         } else {
-            // Aggregate per full path, keeping first-completion order so
-            // the tree reads chronologically; parents print before
-            // children via path-prefix grouping.
-            let mut order: Vec<Vec<&'static str>> = Vec::new();
+            // Aggregate per full path. Rendering order is the
+            // lexicographic path order the BTreeMap already holds: a
+            // parent path is a strict prefix of its children, so it
+            // sorts immediately before them, and the whole tree is
+            // independent of completion order — two runs of the same
+            // workload produce diffable summaries even when thread
+            // interleaving reorders span closes.
             let mut agg: BTreeMap<Vec<&'static str>, PathAggregate> = BTreeMap::new();
             for r in &self.spans {
-                let e = agg.entry(r.path.clone()).or_insert_with(|| {
-                    order.push(r.path.clone());
-                    (0, 0, r.fields.clone())
-                });
+                let e = agg.entry(r.path.clone()).or_insert_with(|| (0, 0, r.fields.clone()));
                 e.0 += 1;
                 e.1 += r.ns;
             }
-            // Parents close after children, so sort paths depth-first by
-            // (prefix chain in first-seen order). Render by walking the
-            // unique paths sorted so that a parent immediately precedes
-            // its children; first-seen order breaks ties at each level.
-            let rank: BTreeMap<Vec<&'static str>, usize> =
-                order.iter().cloned().enumerate().map(|(i, p)| (p, i)).collect();
-            let mut paths = order.clone();
-            paths.sort_by(|a, b| {
-                // Compare component-wise by each prefix's first-seen rank.
-                let depth = a.len().min(b.len());
-                for d in 1..=depth {
-                    if a[..d] == b[..d] {
-                        continue;
-                    }
-                    let ra = rank.get(&a[..d]).copied().unwrap_or(usize::MAX);
-                    let rb = rank.get(&b[..d]).copied().unwrap_or(usize::MAX);
-                    return ra.cmp(&rb).then_with(|| a[d - 1].cmp(b[d - 1]));
-                }
-                a.len().cmp(&b.len())
-            });
-            for p in paths {
+            for p in agg.keys().cloned().collect::<Vec<_>>() {
                 let (calls, ns, fields) = &agg[&p];
                 let indent = "  ".repeat(p.len() - 1);
                 let name = p.last().expect("paths are non-empty");
@@ -152,6 +141,13 @@ impl Snapshot {
             out.push_str("── gauges ──\n");
             for (name, v) in &self.gauges {
                 let _ = writeln!(out, "{name:<42} {v:>14}");
+            }
+        }
+        if !self.hists.is_empty() {
+            out.push_str("── histograms ──\n");
+            for h in &self.hists {
+                let tag = if h.timing { " (timing)" } else { "" };
+                let _ = writeln!(out, "{:<33}{tag} {}", h.name, h.percentile_line());
             }
         }
         out
@@ -215,6 +211,22 @@ impl Snapshot {
             write_json_str(&mut out, name);
             let _ = writeln!(out, ",\"value\":{v}}}");
         }
+        for h in &self.hists {
+            out.push_str("{\"type\":\"hist\",\"name\":");
+            write_json_str(&mut out, &h.name);
+            let _ = write!(
+                out,
+                ",\"timing\":{},\"count\":{},\"sum\":{},\"max\":{},\"buckets\":[",
+                h.timing, h.count, h.sum, h.max
+            );
+            for (i, (bucket, c)) in h.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{bucket},{c}]");
+            }
+            out.push_str("]}\n");
+        }
         out
     }
 
@@ -246,6 +258,7 @@ impl Snapshot {
                 .collect(),
             counters: self.counters.iter().map(|(n, v)| ((*n).to_string(), *v)).collect(),
             gauges: self.gauges.iter().map(|(n, v)| ((*n).to_string(), *v)).collect(),
+            hists: self.hists.clone(),
         }
     }
 }
@@ -286,6 +299,8 @@ pub struct ParsedSnapshot {
     pub counters: Vec<(String, u64)>,
     /// Gauge events, in stream order.
     pub gauges: Vec<(String, u64)>,
+    /// Histogram events, in stream order.
+    pub hists: Vec<HistData>,
 }
 
 /// Parses a JSONL stream produced by [`Snapshot::jsonl`].
@@ -355,6 +370,27 @@ pub fn parse_jsonl(stream: &str) -> Result<ParsedSnapshot, String> {
                     out.gauges.push((name, value));
                 }
             }
+            "hist" => {
+                let name = get_str(obj, "name")
+                    .ok_or_else(|| format!("line {}: hist without name", lineno + 1))?;
+                let buckets = get(obj, "buckets")
+                    .and_then(MiniJson::as_arr)
+                    .ok_or_else(|| format!("line {}: hist without buckets", lineno + 1))?
+                    .iter()
+                    .map(|pair| match pair.as_arr() {
+                        Some([MiniJson::Num(i), MiniJson::Num(c)]) => Ok((*i as usize, *c)),
+                        _ => Err(format!("line {}: malformed hist bucket", lineno + 1)),
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                out.hists.push(HistData {
+                    name,
+                    timing: get_bool(obj, "timing").unwrap_or(false),
+                    count: get_num(obj, "count").unwrap_or(0),
+                    sum: get_num(obj, "sum").unwrap_or(0),
+                    max: get_num(obj, "max").unwrap_or(0),
+                    buckets,
+                });
+            }
             other => return Err(format!("line {}: unknown event type '{other}'", lineno + 1)),
         }
     }
@@ -387,6 +423,7 @@ fn write_json_str(out: &mut String, s: &str) {
 enum MiniJson {
     Str(String),
     Num(u64),
+    Bool(bool),
     Arr(Vec<MiniJson>),
     Obj(Vec<(String, MiniJson)>),
 }
@@ -423,6 +460,13 @@ fn get_str(obj: &[(String, MiniJson)], key: &str) -> Option<String> {
 fn get_num(obj: &[(String, MiniJson)], key: &str) -> Option<u64> {
     match get(obj, key) {
         Some(MiniJson::Num(x)) => Some(*x),
+        _ => None,
+    }
+}
+
+fn get_bool(obj: &[(String, MiniJson)], key: &str) -> Option<bool> {
+    match get(obj, key) {
+        Some(MiniJson::Bool(x)) => Some(*x),
         _ => None,
     }
 }
@@ -496,6 +540,14 @@ fn parse_value(b: &[char], pos: &mut usize) -> Result<MiniJson, String> {
                     _ => return Err(format!("expected ',' or '}}' at {pos}", pos = *pos)),
                 }
             }
+        }
+        Some('t') if b[*pos..].starts_with(&['t', 'r', 'u', 'e']) => {
+            *pos += 4;
+            Ok(MiniJson::Bool(true))
+        }
+        Some('f') if b[*pos..].starts_with(&['f', 'a', 'l', 's', 'e']) => {
+            *pos += 5;
+            Ok(MiniJson::Bool(false))
         }
         Some(c) if c.is_ascii_digit() => {
             let start = *pos;
@@ -576,6 +628,14 @@ mod tests {
             ],
             counters: vec![("apsp.sources", 64), ("verify.pairs", 4032)],
             gauges: vec![("simnet.max_queue", 7)],
+            hists: vec![HistData {
+                name: "verify.hops".to_string(),
+                timing: false,
+                count: 3,
+                sum: 40,
+                max: 34,
+                buckets: vec![(2, 1), (4, 1), (33, 1)],
+            }],
         }
     }
 
@@ -620,6 +680,20 @@ mod tests {
         assert!(s.contains("[n=64, scheme=theorem1]"), "{s}");
         assert!(s.contains("apsp.sources"), "{s}");
         assert!(s.contains("simnet.max_queue"), "{s}");
+        assert!(s.contains("── histograms ──"), "{s}");
+        assert!(s.contains("verify.hops"), "{s}");
+        assert!(s.contains("p50="), "{s}");
+    }
+
+    #[test]
+    fn summary_tree_is_completion_order_invariant() {
+        // The tree is keyed lexicographically, so reordering span
+        // completions (as thread interleaving does) must not move a
+        // single line: summaries are diffable across runs.
+        let snap = sample();
+        let mut reversed = snap.clone();
+        reversed.spans.reverse();
+        assert_eq!(snap.summary_tree(), reversed.summary_tree());
     }
 
     #[test]

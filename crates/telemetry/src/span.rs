@@ -77,6 +77,14 @@ fn lock_records() -> std::sync::MutexGuard<'static, Vec<SpanRecord>> {
     RECORDS.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
+/// Nanoseconds since the process anchor (the instant the first span
+/// opened — or this call, if no span ran yet). The recorder stamps its
+/// events on the same clock so they interleave with span records.
+pub(crate) fn now_ns() -> u64 {
+    let anchor = *ANCHOR.get_or_init(Instant::now);
+    u64::try_from(anchor.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
 /// All completed span records, in completion order.
 #[must_use]
 pub(crate) fn records() -> Vec<SpanRecord> {
@@ -124,6 +132,8 @@ impl Drop for SpanGuard {
             st.pop();
             path
         });
+        let leaf = *path.last().expect("an open span has a non-empty stack");
+        let depth = path.len() as u64;
         lock_records().push(SpanRecord {
             path,
             ns,
@@ -132,6 +142,9 @@ impl Drop for SpanGuard {
             thread: thread_id(),
             fields: std::mem::take(&mut self.fields),
         });
+        // Every span close is also a flight-recorder event: the ring's
+        // recent history is what a post-mortem dump replays.
+        crate::recorder::record_span(leaf, depth, ns);
     }
 }
 

@@ -192,11 +192,16 @@ pub fn run(opts: &BenchOptions) -> Result<Vec<BenchRecord>, String> {
     }
 
     let json = to_json(&records);
-    if let Some(dir) = std::path::Path::new(&opts.out_path).parent() {
-        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
-    }
-    std::fs::write(&opts.out_path, json)
-        .map_err(|e| format!("cannot write {}: {e}", opts.out_path))?;
+    crate::manifest::write_stamped_raw(
+        &opts.out_path,
+        &json,
+        &crate::manifest::RunInfo::new(
+            "bench",
+            format!("max_n={}", opts.max_n),
+            BENCH_SEED.to_string(),
+        ),
+    )
+    .map_err(|e| format!("cannot write {}: {e}", opts.out_path))?;
     Ok(records)
 }
 

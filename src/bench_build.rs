@@ -221,12 +221,21 @@ pub fn run(opts: &BenchBuildOptions) -> Result<Vec<BuildRecord>, String> {
         }
     }
     let json = to_json(&records);
-    if let Some(dir) = std::path::Path::new(&opts.out_path).parent() {
-        std::fs::create_dir_all(dir)
-            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
-    }
-    std::fs::write(&opts.out_path, json)
-        .map_err(|e| format!("cannot write {}: {e}", opts.out_path))?;
+    let schemes = if opts.schemes.is_empty() {
+        "all".to_string()
+    } else {
+        opts.schemes.iter().map(|id| id.name()).collect::<Vec<_>>().join(",")
+    };
+    crate::manifest::write_stamped_raw(
+        &opts.out_path,
+        &json,
+        &crate::manifest::RunInfo::new(
+            "bench-build",
+            format!("max_n={} schemes={schemes}", opts.max_n),
+            BENCH_SEED.to_string(),
+        ),
+    )
+    .map_err(|e| format!("cannot write {}: {e}", opts.out_path))?;
     Ok(records)
 }
 

@@ -15,7 +15,10 @@
 
 //! ort trace <scheme> --n N --seed S [--src A --dst B | --worst]
 //!                                         capture one walk, explain its stretch
+//! ort report [--dir d] [--out p] [--baseline p]
+//!                                         cross-run regression observatory
 //! ort schemes                             list available schemes
+//! ort --version                           build info (features, telemetry state)
 //! ```
 //!
 //! Graphs are seeded `G(n, 1/2)` samples, so every invocation is
@@ -31,7 +34,7 @@ use optimal_routing_tables::graphs::{generators, Graph};
 use optimal_routing_tables::kolmogorov::deficiency::CompressorSuite;
 use optimal_routing_tables::routing::scheme::RoutingScheme;
 use optimal_routing_tables::routing::verify;
-use optimal_routing_tables::{gate, profile};
+use optimal_routing_tables::{gate, manifest, profile};
 
 fn build_scheme(name: &str, g: &Graph) -> Result<Box<dyn RoutingScheme>, String> {
     SchemeId::from_name(name)
@@ -56,7 +59,10 @@ fn usage() -> ExitCode {
     eprintln!("  ort resilience [--verbose] [out.json]    (default results/RESILIENCE.json)");
     eprintln!("  ort churn   [--out p] [--max-n N]        (default results/CHURN.json, max-n 1024)");
     eprintln!("  ort trace   <scheme> [--n N] [--seed S] (--src A --dst B | --worst)");
+    eprintln!("  ort report  [--dir d] [--out p] [--baseline p]");
+    eprintln!("                                           (default results/ -> results/REPORT.json)");
     eprintln!("  ort schemes");
+    eprintln!("  ort --version");
     ExitCode::FAILURE
 }
 
@@ -139,6 +145,38 @@ fn run() -> Result<(), String> {
                 println!("{}", id.name());
             }
             Ok(())
+        }
+        Some("--version" | "version") => {
+            println!("{}", manifest::build_info());
+            Ok(())
+        }
+        Some("report") => {
+            use optimal_routing_tables::report;
+            let (flags, positional) = parse_flags(&args[1..], &["dir", "out", "baseline"])?;
+            if !positional.is_empty() {
+                return Err(format!("unexpected argument '{}'", positional[0]));
+            }
+            let mut opts = report::ReportOptions::default();
+            for (flag, value) in flags {
+                match flag.as_str() {
+                    "dir" => opts.dir = value,
+                    "out" => opts.out = value,
+                    "baseline" => opts.baseline = Some(value),
+                    _ => unreachable!("parse_flags filters"),
+                }
+            }
+            let outcome = report::run(&opts)?;
+            print!("{}", outcome.table);
+            println!("wrote {}", opts.out);
+            if outcome.problems.is_empty() {
+                println!("report: PASS");
+                Ok(())
+            } else {
+                for p in &outcome.problems {
+                    eprintln!("regression: {p}");
+                }
+                Err(format!("report: FAIL ({} regressions)", outcome.problems.len()))
+            }
         }
         Some("profile") => {
             let name = args.get(1).ok_or("missing scheme")?.clone();
@@ -252,6 +290,13 @@ fn run() -> Result<(), String> {
                 for f in &report.failures {
                     eprintln!("regression: {f}");
                 }
+                // A gate failure is exactly the moment a post-mortem
+                // matters: freeze the flight recorder's recent history.
+                optimal_routing_tables::telemetry::recorder::anomaly(
+                    "bench_gate_failure",
+                    report.failures.len() as u64,
+                    0,
+                );
                 Err(format!("bench-gate: FAIL ({} regressions)", report.failures.len()))
             }
         }
@@ -367,13 +412,21 @@ fn run() -> Result<(), String> {
                 .map_or("results/CONFORMANCE.json", String::as_str);
             let config = report::Config::default();
             let result = report::run(&config, |line| println!("{line}"))?;
-            let json = report::to_json(&result).pretty();
-            if let Some(dir) = std::path::Path::new(out).parent() {
-                if !dir.as_os_str().is_empty() {
-                    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
-                }
-            }
-            std::fs::write(out, &json).map_err(|e| e.to_string())?;
+            let join = |xs: &[u64]| {
+                xs.iter().map(ToString::to_string).collect::<Vec<_>>().join(",")
+            };
+            let info = manifest::RunInfo::new(
+                "conformance",
+                format!(
+                    "exhaustive_n={} sweep_sizes={} fuzz_per_kind={} bound_sizes={}",
+                    config.exhaustive_n,
+                    config.sweep_sizes.iter().map(ToString::to_string).collect::<Vec<_>>().join(","),
+                    config.fuzz_per_kind,
+                    config.bound_sizes.iter().map(ToString::to_string).collect::<Vec<_>>().join(","),
+                ),
+                format!("{},{}", join(&config.sweep_seeds), join(&config.bound_seeds)),
+            );
+            manifest::write_stamped(out, &report::to_json(&result), &info)?;
             println!("wrote {out}");
             if result.pass() {
                 println!("conformance: PASS");
@@ -393,16 +446,11 @@ fn run() -> Result<(), String> {
                 .find(|a| !a.starts_with("--"))
                 .map_or("results/RESILIENCE.json", String::as_str);
             let outcome = sweep::resilience_sweep(verbose, |line| println!("{line}"))?;
-            if let Some(dir) = std::path::Path::new(out).parent() {
-                if !dir.as_os_str().is_empty() {
-                    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
-                }
-            }
-            std::fs::write(out, outcome.report.pretty()).map_err(|e| e.to_string())?;
+            manifest::write_stamped(out, &outcome.report, &sweep::run_info())?;
             println!("wrote {out}");
             if let Some(diagnostics) = &outcome.diagnostics {
                 let diag_out = sweep::diagnostics_path(out);
-                std::fs::write(&diag_out, diagnostics.pretty()).map_err(|e| e.to_string())?;
+                manifest::write_stamped(&diag_out, diagnostics, &sweep::diagnostics_info())?;
                 println!("wrote {diag_out}");
             }
             if outcome.violations.is_empty() {
@@ -433,12 +481,7 @@ fn run() -> Result<(), String> {
                 }
             }
             let outcome = churn::churn_sweep(&opts, |line| println!("{line}"))?;
-            if let Some(dir) = std::path::Path::new(&opts.out_path).parent() {
-                if !dir.as_os_str().is_empty() {
-                    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
-                }
-            }
-            std::fs::write(&opts.out_path, outcome.report.pretty()).map_err(|e| e.to_string())?;
+            manifest::write_stamped(&opts.out_path, &outcome.report, &churn::run_info(&opts))?;
             println!("wrote {}", opts.out_path);
             if outcome.violations.is_empty() {
                 println!("churn: PASS");
@@ -491,6 +534,9 @@ fn run() -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
+    // A panic anywhere below dumps the flight recorder's recent events
+    // to stderr (and any postmortem: sink) before the process dies.
+    optimal_routing_tables::telemetry::recorder::install_panic_hook();
     let cmd = std::env::args().nth(1).unwrap_or_default();
     let code = match run() {
         Ok(()) => ExitCode::SUCCESS,

@@ -466,6 +466,26 @@ pub fn churn_sweep(
         violations.push("plans scheduled no joins or leaves — weights are miswired".into());
     }
 
+    // Per-step value-domain distributions across every cell, read back
+    // from the (deterministic) step logs; plain local histograms keep
+    // the report byte-identical with telemetry compiled out.
+    let mut dirty_h = ort_telemetry::LocalHist::new();
+    let mut patched_h = ort_telemetry::LocalHist::new();
+    let empty: &[Json] = &[];
+    for cell in &cells {
+        for e in cell.get("log").and_then(Json::as_arr).unwrap_or(empty) {
+            let n = e.get("n").and_then(Json::as_i64).unwrap_or(1).max(1) as u64;
+            let dirty = e.get("dirty").and_then(Json::as_i64).unwrap_or(0) as u64;
+            dirty_h.record(dirty * 1000 / n);
+            patched_h
+                .record(e.get("entries_patched").and_then(Json::as_i64).unwrap_or(0) as u64);
+        }
+    }
+    let hists = [dirty_h.data("dirty_frac_x1000"), patched_h.data("entries_patched")];
+    for h in &hists {
+        progress(&format!("churn distribution {:<18}{}", h.name, h.percentile_line()));
+    }
+
     let report = Json::obj(vec![
         ("suite", Json::Str("churn".into())),
         ("seed", Json::Int(CHURN_SEED as i64)),
@@ -481,10 +501,29 @@ pub fn churn_sweep(
             ]),
         ),
         ("cells", Json::Arr(cells)),
+        (
+            "hists",
+            Json::Obj(
+                hists
+                    .iter()
+                    .map(|h| (h.name.clone(), crate::report::hist_json(h)))
+                    .collect(),
+            ),
+        ),
         ("violations", Json::Arr(violations.iter().map(|v| Json::Str(v.clone())).collect())),
         ("pass", Json::Bool(violations.is_empty())),
     ]);
     Ok(ChurnOutcome { report, violations })
+}
+
+/// Provenance for the churn results file.
+#[must_use]
+pub fn run_info(opts: &ChurnOptions) -> crate::manifest::RunInfo {
+    crate::manifest::RunInfo::new(
+        "churn",
+        format!("max_n={}", opts.max_n),
+        CHURN_SEED.to_string(),
+    )
 }
 
 #[cfg(test)]

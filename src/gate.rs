@@ -210,13 +210,17 @@ pub fn to_json(cfg: &GateConfig, measurements: &[Measurement]) -> Json {
 /// Returns a message if measurement or the write fails.
 pub fn record(cfg: &GateConfig, path: &str) -> Result<(), String> {
     let measurements = measure(cfg)?;
-    let json = to_json(cfg, &measurements).pretty();
-    if let Some(dir) = std::path::Path::new(path).parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
-        }
-    }
-    std::fs::write(path, json).map_err(|e| e.to_string())
+    let payload = to_json(cfg, &measurements);
+    let sizes = cfg.sizes.iter().map(ToString::to_string).collect::<Vec<_>>().join(",");
+    crate::manifest::write_stamped(
+        path,
+        &payload,
+        &crate::manifest::RunInfo::new(
+            "bench-gate",
+            format!("record sizes={sizes} reps={} tolerance={}", cfg.reps, cfg.tolerance),
+            cfg.seed.to_string(),
+        ),
+    )
 }
 
 fn field_usize(v: &Json, key: &str, ctx: &str) -> Result<usize, String> {

@@ -40,6 +40,12 @@
 //! * [`churn`] — the continuous-churn sweep behind `ort churn` and
 //!   `results/CHURN.json` (incremental repair vs cold rebuild,
 //!   byte-identity and verify-equality after every event).
+//! * [`manifest`] — run manifests: every results file carries provenance
+//!   (subcommand, args, seeds, payload digest, thread/feature state) and
+//!   appends a one-line summary to `results/HISTORY.jsonl`.
+//! * [`report`] — the cross-run regression observatory behind
+//!   `ort report` and `results/REPORT.json` (aggregates results files,
+//!   machine-checks bit-exact fields and gated ratios across runs).
 //!
 //! # Quickstart
 //!
@@ -73,7 +79,9 @@ pub mod bench;
 pub mod bench_build;
 pub mod churn;
 pub mod gate;
+pub mod manifest;
 pub mod profile;
+pub mod report;
 pub mod sweep;
 pub mod trace;
 

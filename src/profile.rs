@@ -137,6 +137,16 @@ pub fn run_profile(scheme_name: &str, n: usize, seed: u64) -> Result<ProfileRepo
         verify_report.max_stretch()
     ));
 
+    // Value-domain distributions recorded during the run (hop counts,
+    // stretch, per-node bits): exact counts, log-bucketed percentiles.
+    let value_hists: Vec<_> = snap.hists.iter().filter(|h| !h.timing).collect();
+    if !value_hists.is_empty() {
+        text.push_str("\ndistributions (value domains, exact counts):\n");
+        for h in value_hists {
+            text.push_str(&format!("  {:<28}{}\n", h.name, h.percentile_line()));
+        }
+    }
+
     let distinct_phases = snap.span_paths().len();
     text.push_str(&format!("distinct phases recorded: {distinct_phases}\n"));
 

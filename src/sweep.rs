@@ -175,6 +175,31 @@ pub fn resilience_sweep(
     }
     let violations = acceptance_violations(&cells);
 
+    // Cross-cell value-domain distributions, built with plain local
+    // histograms so the report is byte-identical with telemetry compiled
+    // out. Cells are visited in their (deterministic) construction order.
+    let mut delivery_h = ort_telemetry::LocalHist::new();
+    let mut stretch_h = ort_telemetry::LocalHist::new();
+    let mut retries_h = ort_telemetry::LocalHist::new();
+    for c in &cells {
+        delivery_h.record((c.metrics.delivery_ratio() * 1000.0).round() as u64);
+        if let Some(s) = c.metrics.mean_stretch {
+            stretch_h.record((s * 1000.0).round() as u64);
+        }
+        retries_h.record(c.metrics.retries);
+    }
+    let hists = [
+        delivery_h.data("delivery_x1000"),
+        retries_h.data("retries"),
+        stretch_h.data("stretch_x1000"),
+    ];
+    if verbose {
+        println!("cross-cell distributions:");
+        for h in &hists {
+            println!("  {:<18}{}", h.name, h.percentile_line());
+        }
+    }
+
     let cell_json: Vec<Json> = cells
         .iter()
         .map(|c| {
@@ -260,6 +285,15 @@ pub fn resilience_sweep(
         ("fault_loads", Json::Arr(loads)),
         ("refusals", Json::Arr(refusals)),
         ("cells", Json::Arr(cell_json)),
+        (
+            "hists",
+            Json::Obj(
+                hists
+                    .iter()
+                    .map(|h| (h.name.clone(), crate::report::hist_json(h)))
+                    .collect(),
+            ),
+        ),
         ("violations", Json::Arr(violations.iter().map(|v| Json::Str(v.clone())).collect())),
         ("pass", Json::Bool(violations.is_empty())),
     ]);
@@ -391,6 +425,33 @@ fn diagnose_exemplar(
 #[must_use]
 pub fn diagnostics_path(out: &str) -> String {
     format!("{}_DIAGNOSTICS.json", out.strip_suffix(".json").unwrap_or(out))
+}
+
+fn fault_seeds() -> String {
+    (0..INTENSITIES.len() as u64)
+        .map(|i| (FAULT_SEED + i).to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Provenance for the sweep's results file.
+#[must_use]
+pub fn run_info() -> crate::manifest::RunInfo {
+    crate::manifest::RunInfo::new(
+        "resilience",
+        "topologies=gnp32,grid6x6,path24 intensities=0,0.05,0.15,0.3",
+        fault_seeds(),
+    )
+}
+
+/// Provenance for the diagnostics file.
+#[must_use]
+pub fn diagnostics_info() -> crate::manifest::RunInfo {
+    crate::manifest::RunInfo::new(
+        "resilience-diagnostics",
+        "topologies=gnp32,grid6x6,path24 intensities=0,0.05,0.15,0.3",
+        fault_seeds(),
+    )
 }
 
 #[cfg(test)]

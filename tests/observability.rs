@@ -1,0 +1,286 @@
+//! The observability layer's integration contract: value-domain
+//! histograms are thread-count invariant, the flight recorder replays
+//! the same dump for the same seeded run, a forced bench-gate failure
+//! writes a post-mortem through the `postmortem:` sink, and `ort
+//! report` passes on the checked-in results yet fails — naming the
+//! field — the moment a single digit drifts.
+//!
+//! Every in-process test mutates process-global state (the telemetry
+//! registry, the recorder ring, `ORT_THREADS`), so they serialise on
+//! one mutex instead of relying on the harness's thread-per-test
+//! default.
+
+#![cfg(feature = "telemetry")]
+
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use optimal_routing_tables::conformance::differential;
+use optimal_routing_tables::conformance::registry::SchemeId;
+use optimal_routing_tables::gate::{self, GateConfig};
+use optimal_routing_tables::graphs::generators;
+use optimal_routing_tables::graphs::paths::Apsp;
+use optimal_routing_tables::manifest;
+use optimal_routing_tables::routing::accounting::BitBreakdown;
+use optimal_routing_tables::routing::verify;
+use optimal_routing_tables::telemetry as tel;
+use optimal_routing_tables::telemetry::recorder;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A scratch directory unique to this test binary invocation.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ort-observability-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// The full value-domain histogram table — names, counts, sums and every
+/// log bucket — is identical whether the instrumented work ran on 1, 2
+/// or 8 worker threads. (Timing histograms are wall-clock and excluded,
+/// exactly as the determinism gate excludes them.)
+#[test]
+fn value_histograms_are_thread_count_invariant() {
+    let _serial = serial();
+    let g = generators::gnp_half(48, 3);
+    let mut tables: Vec<Vec<tel::HistData>> = Vec::new();
+    for threads in ["1", "2", "8"] {
+        std::env::set_var("ORT_THREADS", threads);
+        tel::reset();
+        let apsp = Apsp::compute(&g);
+        let oracle = apsp.into_oracle();
+        let scheme = SchemeId::Theorem1.build(&g).expect("theorem 1 on G(48, 1/2)");
+        verify::verify_scheme_with_oracle(&g, scheme.as_ref(), &oracle).expect("verify");
+        let _bits = BitBreakdown::of(scheme.as_ref());
+        tables.push(tel::snapshot().hists.into_iter().filter(|h| !h.timing).collect());
+    }
+    std::env::remove_var("ORT_THREADS");
+
+    let hops = tables[0].iter().find(|h| h.name == "verify.hops");
+    assert!(hops.is_some_and(|h| h.count > 0), "verify must record hop counts, got {tables:?}");
+    assert!(tables[0].iter().any(|h| h.name == "verify.stretch_x1000" && h.count > 0));
+    assert!(tables[0].iter().any(|h| h.name == "accounting.bits_per_node" && h.count > 0));
+    for (i, t) in tables.iter().enumerate().skip(1) {
+        assert_eq!(
+            &tables[0],
+            t,
+            "value histograms differ between 1 and {} threads",
+            [1, 2, 8][i]
+        );
+    }
+}
+
+/// Projects a post-mortem dump to its deterministic part: masks the
+/// `ns` timestamp on every event line, and on span events also the `b`
+/// payload (a span's `b` is its elapsed nanoseconds — wall clock, like
+/// `ns`). Anomaly and note payloads stay unmasked: they carry data.
+fn mask_ns(dump: &str) -> String {
+    let mut out = String::with_capacity(dump.len());
+    for line in dump.lines() {
+        let mut line = line.to_string();
+        if let Some(at) = line.find(",\"ns\":") {
+            line.truncate(at);
+            line.push_str(",\"ns\":_}");
+        }
+        if line.contains("\"kind\":\"span\"") {
+            if let (Some(b), Some(end)) = (line.find(",\"b\":"), line.find(",\"ns\":")) {
+                line.replace_range(b..end, ",\"b\":_");
+            }
+        }
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Running the same seeded differential pass twice produces the same
+/// refusal anomalies and — with timestamps masked — byte-identical
+/// post-mortem dumps. `C_9` has diameter 4, which the diameter-2 theorem schemes refuse,
+/// so the run is guaranteed to trip the `scheme_refusal` trigger.
+#[test]
+fn recorder_dump_is_deterministic_on_seeded_refusal() {
+    let _serial = serial();
+    std::env::set_var("ORT_THREADS", "1");
+    let g = generators::cycle(9);
+    let mut anomaly_runs = Vec::new();
+    let mut dumps = Vec::new();
+    for _ in 0..2 {
+        tel::reset();
+        let _ = differential::diff_graph(&g, 1);
+        let anomalies: Vec<(u64, &'static str, u64, u64)> = recorder::events()
+            .iter()
+            .filter(|e| e.kind == recorder::EventKind::Anomaly)
+            .map(|e| (e.seq, e.label, e.a, e.b))
+            .collect();
+        anomaly_runs.push(anomalies);
+        dumps.push(mask_ns(&recorder::dump_string("scheme_refusal")));
+    }
+    std::env::remove_var("ORT_THREADS");
+
+    assert!(
+        anomaly_runs[0].iter().any(|e| e.1 == "scheme_refusal"),
+        "C_9 must trip at least one scheme refusal, got {:?}",
+        anomaly_runs[0]
+    );
+    assert_eq!(anomaly_runs[0], anomaly_runs[1], "anomaly sequence must replay exactly");
+    assert_eq!(dumps[0], dumps[1], "masked post-mortem dumps must be byte-identical");
+    assert!(dumps[0].starts_with("{\"type\":\"postmortem\",\"trigger\":\"scheme_refusal\""));
+}
+
+/// Increments the first digit of the first integer after `key` in
+/// `text` (9 wraps to 8 so the length never changes): a one-character
+/// payload perturbation.
+fn perturb_after(text: &str, key: &str) -> String {
+    let at = text.find(key).unwrap_or_else(|| panic!("'{key}' not found in payload"));
+    let digit_at = at
+        + key.len()
+        + text[at + key.len()..]
+            .find(|c: char| c.is_ascii_digit())
+            .expect("digit after key");
+    let d = text.as_bytes()[digit_at] as char;
+    let new = if d == '9' { '8' } else { (d as u8 + 1) as char };
+    let mut s = String::with_capacity(text.len());
+    s.push_str(&text[..digit_at]);
+    s.push(new);
+    s.push_str(&text[digit_at + 1..]);
+    s
+}
+
+/// A forced bench-gate failure exits non-zero and appends a post-mortem
+/// block — headed by the `bench_gate_failure` trigger — to the
+/// `postmortem:` sink configured in `ORT_TELEMETRY`.
+#[test]
+fn bench_gate_failure_writes_a_postmortem() {
+    let _serial = serial();
+    let dir = scratch("gate");
+    let baseline = dir.join("baseline.json");
+    let cfg = GateConfig { sizes: vec![32], seed: 1, reps: 1, tolerance: 0.25 };
+    gate::record(&cfg, baseline.to_str().unwrap()).expect("record tiny baseline");
+
+    // One drifted bit: the first entry's total no longer matches what a
+    // fresh deterministic measurement will produce.
+    let text = std::fs::read_to_string(&baseline).expect("read baseline");
+    std::fs::write(&baseline, perturb_after(&text, "\"total\": ")).expect("write perturbed");
+
+    let postmortem = dir.join("postmortem.jsonl");
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_ort"))
+        .args(["bench-gate", "--baseline", baseline.to_str().unwrap()])
+        .args(["--bench", "none", "--build", "none", "--churn", "none"])
+        .env("ORT_TELEMETRY", format!("postmortem:{}", postmortem.display()))
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status()
+        .expect("spawn ort bench-gate");
+    assert!(!status.success(), "a drifted baseline must fail the gate");
+
+    let dump = std::fs::read_to_string(&postmortem).expect("post-mortem sink file must exist");
+    assert!(dump.contains("\"type\":\"postmortem\""), "{dump}");
+    assert!(dump.contains("\"trigger\":\"bench_gate_failure\""), "{dump}");
+    assert!(dump.contains("\"kind\":\"anomaly\",\"label\":\"bench_gate_failure\""), "{dump}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Copies the checked-in results corpus (every `*.json` except the
+/// report itself, plus the run history) into `dir`.
+fn copy_results(dir: &Path) {
+    for entry in std::fs::read_dir("results").expect("results/ directory") {
+        let p = entry.expect("dir entry").path();
+        let name = p.file_name().unwrap().to_str().unwrap().to_string();
+        if name == "REPORT.json" || !(name.ends_with(".json") || name == "HISTORY.jsonl") {
+            continue;
+        }
+        std::fs::copy(&p, dir.join(&name)).expect("copy result file");
+    }
+}
+
+/// Re-stamps `file` after a payload edit: recomputes the FNV digest over
+/// the edited payload and substitutes it for `old` in both the file's
+/// manifest and the history, so only the *content* drifts, not the
+/// provenance chain. Returns the new digest.
+fn restamp(dir: &Path, file: &str, old: &str) -> String {
+    let path = dir.join(file);
+    let text = std::fs::read_to_string(&path).expect("read result file");
+    let (_, payload) =
+        optimal_routing_tables::report::unstamp(&text).expect("stamped result file");
+    let fresh = manifest::digest_of(&payload);
+    std::fs::write(&path, text.replace(old, &fresh)).expect("rewrite digest");
+    let hist_path = dir.join("HISTORY.jsonl");
+    let history = std::fs::read_to_string(&hist_path).expect("read history");
+    std::fs::write(&hist_path, history.replace(old, &fresh)).expect("rewrite history");
+    fresh
+}
+
+fn digest_in(text: &str) -> String {
+    let at = text.find("fnv64:").expect("digest in manifest");
+    text[at..at + "fnv64:".len() + 16].to_string()
+}
+
+fn run_report(args: &[&str]) -> (bool, String) {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_ort"))
+        .arg("report")
+        .args(args)
+        .stdout(std::process::Stdio::null())
+        .output()
+        .expect("spawn ort report");
+    (out.status.success(), String::from_utf8_lossy(&out.stderr).into_owned())
+}
+
+/// The observatory end to end: `ort report` passes on a pristine copy
+/// of the checked-in results; a one-character payload edit fails the
+/// digest check naming the file; and once the file is re-stamped so its
+/// provenance chain is self-consistent again, a baseline comparison
+/// still fails — now naming the exact drifted field (a bench-gate bit
+/// total and a shifted resilience histogram bucket).
+#[test]
+fn report_flags_single_character_drift() {
+    let _serial = serial();
+    let clean = scratch("report-clean");
+    copy_results(&clean);
+    let clean_report = clean.join("REPORT.json");
+    let (ok, stderr) =
+        run_report(&["--dir", clean.to_str().unwrap(), "--out", clean_report.to_str().unwrap()]);
+    assert!(ok, "report must pass on the checked-in corpus:\n{stderr}");
+
+    let drifted = scratch("report-drift");
+    copy_results(&drifted);
+    let baseline = drifted.join("TELEMETRY_BASELINE.json");
+    let gate_text = std::fs::read_to_string(&baseline).expect("read gate baseline");
+    let gate_digest = digest_in(&gate_text);
+    std::fs::write(&baseline, perturb_after(&gate_text, "\"total\": ")).expect("perturb bits");
+    let resilience = drifted.join("RESILIENCE.json");
+    let res_text = std::fs::read_to_string(&resilience).expect("read resilience");
+    let res_digest = digest_in(&res_text);
+    std::fs::write(&resilience, perturb_after(&res_text, "\"buckets\": ")).expect("shift bucket");
+
+    // Un-restamped, the edits are tampering: the digest check names both
+    // files and explains that content and manifest disagree.
+    let drift_report = drifted.join("REPORT.json");
+    let (ok, stderr) =
+        run_report(&["--dir", drifted.to_str().unwrap(), "--out", drift_report.to_str().unwrap()]);
+    assert!(!ok, "a tampered payload must fail the report");
+    assert!(stderr.contains("TELEMETRY_BASELINE.json") && stderr.contains("digest"), "{stderr}");
+    assert!(stderr.contains("RESILIENCE.json"), "{stderr}");
+
+    // Re-stamped, each file is internally consistent — only a cross-run
+    // baseline comparison can see the drift, and it names the field.
+    restamp(&drifted, "TELEMETRY_BASELINE.json", &gate_digest);
+    restamp(&drifted, "RESILIENCE.json", &res_digest);
+    let (ok, stderr) = run_report(&[
+        "--dir",
+        drifted.to_str().unwrap(),
+        "--out",
+        drift_report.to_str().unwrap(),
+        "--baseline",
+        clean_report.to_str().unwrap(),
+    ]);
+    assert!(!ok, "cross-run drift must fail against the clean baseline");
+    assert!(stderr.contains("exact.bits_total."), "must name the drifted bit field:\n{stderr}");
+    assert!(stderr.contains("exact.hist."), "must name the shifted histogram:\n{stderr}");
+    let _ = std::fs::remove_dir_all(&clean);
+    let _ = std::fs::remove_dir_all(&drifted);
+}

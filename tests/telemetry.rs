@@ -115,6 +115,11 @@ fn jsonl_stream_round_trips() {
 /// snapshots: the observability layer observes, it never perturbs. (The
 /// telemetry-*off* half of the guarantee is CI's `--no-default-features`
 /// regeneration diff — one binary cannot toggle a compile-time feature.)
+///
+/// The comparison masks the manifest's *volatile* provenance lines
+/// (threads/features/telemetry/build) — those legitimately record the
+/// environment, and this test runs inside CI's `ORT_THREADS` matrix.
+/// Everything else, payload included, must match byte for byte.
 #[test]
 fn result_files_are_byte_identical_with_sinks_active() {
     let _serial = LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
@@ -136,9 +141,13 @@ fn result_files_are_byte_identical_with_sinks_active() {
             .expect("spawn ort");
         assert!(status.success(), "ort {cmd} failed under active sinks");
 
-        let fresh = std::fs::read(&out).expect("read fresh report");
-        let baseline = std::fs::read(checked_in).expect("read checked-in report");
-        assert_eq!(fresh, baseline, "ort {cmd} output drifted under active telemetry sinks");
+        let fresh = std::fs::read_to_string(&out).expect("read fresh report");
+        let baseline = std::fs::read_to_string(checked_in).expect("read checked-in report");
+        assert_eq!(
+            optimal_routing_tables::manifest::mask_volatile(&fresh),
+            optimal_routing_tables::manifest::mask_volatile(&baseline),
+            "ort {cmd} output drifted under active telemetry sinks"
+        );
 
         let stream = std::fs::read_to_string(&jsonl).expect("jsonl sink file");
         let parsed = tel::sink::parse_jsonl(&stream).expect("sink stream must parse");

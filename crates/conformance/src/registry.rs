@@ -85,6 +85,28 @@ impl SchemeId {
         SchemeId::IaCompact,
     ];
 
+    /// The label of the memory-attribution region
+    /// ([`ort_telemetry::alloc::MemSpan`]) the builders open — one per
+    /// scheme, so `ort profile --mem` can attribute region peaks to the
+    /// exact build phase.
+    #[must_use]
+    fn mem_label(self) -> &'static str {
+        match self {
+            SchemeId::FullTable => "build.full-table",
+            SchemeId::Theorem1 => "build.theorem1",
+            SchemeId::Theorem1Ib => "build.theorem1-ib",
+            SchemeId::Theorem2 => "build.theorem2",
+            SchemeId::Theorem3 => "build.theorem3",
+            SchemeId::Theorem4 => "build.theorem4",
+            SchemeId::Theorem5 => "build.theorem5",
+            SchemeId::FullInformation => "build.full-information",
+            SchemeId::Interval => "build.interval",
+            SchemeId::MultiInterval => "build.multi-interval",
+            SchemeId::Landmark => "build.landmark",
+            SchemeId::IaCompact => "build.ia-compact",
+        }
+    }
+
     /// The CLI/report name of the scheme.
     #[must_use]
     pub fn name(self) -> &'static str {
@@ -112,6 +134,7 @@ impl SchemeId {
     ///
     /// Returns the construction's [`SchemeError`].
     pub fn build(self, g: &Graph) -> Result<Box<dyn RoutingScheme>, SchemeError> {
+        let _mem = ort_telemetry::alloc::mem_span(self.mem_label());
         Ok(match self {
             SchemeId::FullTable => Box::new(FullTableScheme::build(g)?),
             SchemeId::Theorem1 => Box::new(Theorem1Scheme::build(g)?),
@@ -164,6 +187,7 @@ impl SchemeId {
         g: &Graph,
         dists: &dyn Distances,
     ) -> Result<Box<dyn RoutingScheme>, SchemeError> {
+        let _mem = ort_telemetry::alloc::mem_span(self.mem_label());
         Ok(match self {
             SchemeId::FullTable => Box::new(FullTableScheme::build_with_dists(g, dists)?),
             SchemeId::Theorem1 => Box::new(Theorem1Scheme::build_with_dists(g, dists)?),

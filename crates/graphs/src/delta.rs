@@ -235,6 +235,7 @@ impl DeltaOracle {
             ],
         );
         self.stats.repairs += 1;
+        let _mem = ort_telemetry::alloc::mem_span("repair.oracle");
 
         // An edge removal can grow the diameter past what the compact cell
         // width represents; a fresh compute re-picks the width.
@@ -325,7 +326,14 @@ impl crate::oracle::Distances for DeltaOracle {
     }
 
     fn peak_bytes(&self) -> usize {
-        self.apsp.heap_bytes()
+        // The resident matrix plus the repair-path scratch every edge
+        // delta allocates unconditionally: the two endpoint probe rows
+        // (`Vec<Option<u32>>`, 8 bytes a cell) and the n-byte dirty
+        // mask. The old claim stopped at the matrix, under-stating the
+        // peak of any process that repairs — the allocator audit
+        // (claimed ≤ measured over a construct+repair region) caught it.
+        let n = self.apsp.node_count();
+        self.apsp.heap_bytes() + 2 * n * 8 + n
     }
 
     fn is_connected(&self) -> bool {
@@ -501,7 +509,10 @@ mod tests {
         let dyn_oracle: &dyn Distances = &oracle;
         assert!(dyn_oracle.is_exact());
         assert_eq!(dyn_oracle.describe(), "delta-repair oracle");
-        assert_eq!(dyn_oracle.peak_bytes(), oracle.apsp().heap_bytes());
+        // Matrix plus the repair scratch every delta allocates: two
+        // 8-byte-per-cell probe rows and the n-byte dirty mask.
+        let n = oracle.node_count();
+        assert_eq!(dyn_oracle.peak_bytes(), oracle.apsp().heap_bytes() + 2 * n * 8 + n);
         let fresh = Apsp::compute(oracle.graph());
         for u in 0..25 {
             for v in 0..25 {

@@ -131,6 +131,32 @@ impl ApspEngine {
         (Self::TILE_L2_BUDGET_BYTES / (3 * 8 * n)).clamp(1, Self::MAX_TILE_WORDS)
     }
 
+    /// Guaranteed per-traversal scratch bytes this engine allocates on
+    /// `g` (after resolving `Auto`) when one fill covers at most
+    /// `sources` rows: the bitset engine's three `⌈n/64⌉`-word masks,
+    /// the tiled engine's three `n × ⌈c/64⌉`-word mask arrays where `c`
+    /// is the largest chunk a fill actually runs (the tile cap, the
+    /// caller's band height, or `n`, whichever binds first), and zero
+    /// for the queue engine (its `VecDeque` growth is
+    /// capacity-policy-dependent, so no guaranteed lower bound is
+    /// claimed). A full-matrix compute passes `sources = n`; the banded
+    /// oracle passes its band height. Audited `peak_bytes` impls add
+    /// this to their owned-buffer totals so every analytic claim stays a
+    /// guaranteed lower bound on the measured peak.
+    #[must_use]
+    pub fn scratch_bytes(self, g: &Graph, sources: usize) -> usize {
+        let n = g.node_count();
+        match self.resolve(g) {
+            ApspEngine::Queue => 0,
+            ApspEngine::Bitset => 3 * n.div_ceil(64) * 8,
+            ApspEngine::Tiled => {
+                let chunk = Self::tile_sources(n).min(sources).min(n);
+                3 * n * chunk.div_ceil(64) * 8
+            }
+            ApspEngine::Auto => unreachable!("resolve() never returns Auto"),
+        }
+    }
+
     /// Resolves `Auto` against a concrete graph; explicit engines are
     /// returned unchanged.
     #[must_use]
@@ -481,6 +507,7 @@ pub fn compute_band(g: &Graph, start: NodeId, rows: usize, engine: ApspEngine) -
         ],
     );
     ort_telemetry::counter!("apsp.bands").incr();
+    let _mem = ort_telemetry::alloc::mem_span("apsp.band");
     let mut store = DistStore::unreachable(width, rows * n);
     let expansions = match &mut store {
         DistStore::U8(v) => fill_rows(g, engine, start, rows, v),
@@ -580,6 +607,7 @@ impl Apsp {
             ApspEngine::Tiled => ort_telemetry::counter!("apsp.engine.tiled").incr(),
             ApspEngine::Auto => unreachable!("resolve() never returns Auto"),
         }
+        let _mem = ort_telemetry::alloc::mem_span("apsp.compute");
         let mut store = DistStore::unreachable(width, n * n);
         match &mut store {
             DistStore::U8(v) => compute_cells(g, engine, threads, v),

@@ -254,6 +254,7 @@ impl FullTableScheme {
                 ("dirty", ort_telemetry::FieldValue::Int(dirty.len() as u64)),
             ],
         );
+        let _mem = ort_telemetry::alloc::mem_span("repair.scheme_patch");
         self.ports = PortAssignment::sorted(g);
         let mut patched = 0usize;
         for &u in &endpoints {

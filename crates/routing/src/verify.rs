@@ -359,6 +359,7 @@ fn verify_with(
             ("stride", ort_telemetry::FieldValue::Int(stride as u64)),
         ],
     );
+    let _mem = ort_telemetry::alloc::mem_span("verify");
     let t0 = std::time::Instant::now();
     let partials = map_sources(n, |s| {
         let mut p = VerifyReport {

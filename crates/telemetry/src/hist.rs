@@ -147,6 +147,27 @@ impl Hist {
         self.name
     }
 
+    /// Whether this call site has already been pushed into the global
+    /// registry. The allocator hook gates on this: first registration
+    /// pushes into a locked `Vec` whose growth re-enters the allocator,
+    /// so the hook must never be the registrant (see [`register`]).
+    ///
+    /// [`register`]: Hist::register
+    pub(crate) fn registered(&self) -> bool {
+        self.registered.load(Ordering::Relaxed)
+    }
+
+    /// Registers this histogram now, from a known-safe (non-allocator)
+    /// code path, without recording a sample.
+    pub(crate) fn register(&'static self) {
+        if !crate::enabled() {
+            return;
+        }
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            lock().push(self);
+        }
+    }
+
     /// Snapshot of this call site's buckets as owned data.
     #[must_use]
     pub fn data(&self) -> HistData {
@@ -351,6 +372,16 @@ impl HistData {
             self.max,
         )
     }
+}
+
+/// The allocation-size histogram fed by [`crate::alloc::CountingAlloc`].
+/// Tagged like a timing histogram: sample counts vary with thread count
+/// and feature set, so byte-identity guards must skip it. Registered
+/// lazily from safe paths ([`Hist::register`]) — never by the allocator
+/// hook itself.
+pub(crate) fn alloc_size_hist() -> &'static Hist {
+    static H: Hist = Hist::new("alloc.size_bytes", true);
+    &H
 }
 
 /// All registered histograms merged per name, sorted by name.

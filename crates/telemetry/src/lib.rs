@@ -20,6 +20,12 @@
 //!   [`trace::TraceRecorder`] collects every routing decision of selected
 //!   `(src, dst)` walks with deterministic ids, feeding `ort trace` and
 //!   the resilience diagnostics.
+//! * **Measured memory** ([`alloc`]) — an instrumented
+//!   `#[global_allocator]` wrapper (the `alloc` feature, forwarded by the
+//!   root crate as `alloc-telemetry`) maintaining exact live/peak byte
+//!   counters, [`alloc::MemSpan`] attribution regions, and an
+//!   allocation-size distribution — the measured side of every analytic
+//!   `peak_bytes` claim.
 //!
 //! # Determinism contract
 //!
@@ -57,9 +63,13 @@
 //! }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the `alloc` module implements `GlobalAlloc`,
+// which is an inherently unsafe trait, under a scoped `#[allow]` with a
+// documented safety argument. Everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod counter;
 pub mod hist;
 pub mod recorder;
@@ -67,6 +77,7 @@ pub mod sink;
 pub mod span;
 pub mod trace;
 
+pub use alloc::{mem_span, MemSpan, MemSpanRecord};
 pub use counter::{Counter, Gauge};
 pub use hist::{Hist, HistData, LocalHist};
 pub use sink::{ParsedField, ParsedSnapshot, ParsedSpan, Snapshot};
@@ -92,6 +103,7 @@ pub fn reset() {
     counter::zero_all();
     hist::zero_all();
     recorder::clear();
+    alloc::reset_run();
 }
 
 /// Captures the current telemetry state: all completed span records (in

@@ -96,6 +96,12 @@ pub struct BuildRecord {
     pub bands_computed: u64,
     /// Size of the built tables, for scale context.
     pub table_bytes: usize,
+    /// Region peak from the instrumented allocator for one build — the
+    /// measured counterpart of the analytic `peak_bytes` (the region also
+    /// contains the finished tables, so it sits above the distance-cell
+    /// claim by roughly `table_bytes`). `None` (serialised as `0`) when
+    /// the allocator is compiled out.
+    pub measured_peak_bytes: Option<u64>,
 }
 
 /// The workloads a scheme is measured on, with its size cap (builds
@@ -155,12 +161,20 @@ fn measure_cell(records: &mut Vec<BuildRecord>, id: SchemeId, family: &'static s
     let reps = if n > 2048 { 1 } else { 3 };
 
     // Banded: oracle construction is part of the measured build — the
-    // streaming path owns its oracle, there is nothing to amortise.
+    // streaming path owns its oracle, there is nothing to amortise. The
+    // first rep doubles as the allocator-audit region (the MemSpan costs
+    // two atomics, not a separate build).
     let mut banded_probe: Option<(usize, u64, usize)> = None;
+    let mut banded_measured: Option<u64> = None;
     let banded_ms = best_ms(
         || {
+            let region = (banded_measured.is_none() && ort_telemetry::alloc::installed())
+                .then(|| ort_telemetry::alloc::mem_span("bench.measure"));
             let banded = BandedOracle::new(g.clone(), BAND_ROWS.min(n));
             let scheme = id.build_with_dists(&g, &banded).expect("banded build");
+            if let Some(span) = region {
+                banded_measured = Some(span.finish().region_peak_bytes);
+            }
             banded_probe = Some((
                 banded.peak_bytes(),
                 banded.bands_computed(),
@@ -180,12 +194,25 @@ fn measure_cell(records: &mut Vec<BuildRecord>, id: SchemeId, family: &'static s
         peak_bytes: peak,
         bands_computed: bands,
         table_bytes,
+        measured_peak_bytes: banded_measured,
     });
 
     // Full matrix: the historical entry point, timed as-is. Its peak
     // distance memory is the full APSP the wrapper computes internally
     // (probed separately), or zero for the adjacency-based schemes.
-    let full_ms = best_ms(|| drop(black_box(id.build(&g).expect("full build"))), reps);
+    let mut full_measured: Option<u64> = None;
+    let full_ms = best_ms(
+        || {
+            let region = (full_measured.is_none() && ort_telemetry::alloc::installed())
+                .then(|| ort_telemetry::alloc::mem_span("bench.measure"));
+            let scheme = id.build(&g).expect("full build");
+            if let Some(span) = region {
+                full_measured = Some(span.finish().region_peak_bytes);
+            }
+            drop(black_box(scheme));
+        },
+        reps,
+    );
     let full_peak = if is_apsp_hungry(id) { Apsp::compute(&g).heap_bytes() } else { 0 };
     records.push(BuildRecord {
         scheme: id.name(),
@@ -196,6 +223,7 @@ fn measure_cell(records: &mut Vec<BuildRecord>, id: SchemeId, family: &'static s
         peak_bytes: full_peak,
         bands_computed: 0,
         table_bytes,
+        measured_peak_bytes: full_measured,
     });
 }
 
@@ -257,10 +285,13 @@ pub fn to_json(records: &[BuildRecord]) -> String {
     json.push_str("  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
         let sep = if i + 1 == records.len() { "" } else { "," };
+        // `measured_peak_bytes` rides on its own continuation line so
+        // `manifest::mask_volatile` can drop it (0 when the allocator is
+        // compiled out) — masked text stays identical across feature sets.
         json.push_str(&format!(
-            "    {{\"scheme\": \"{}\", \"graph\": \"{}\", \"n\": {}, \"band_rows\": {}, \"build_ms\": {:.3}, \"peak_bytes\": {}, \"bands_computed\": {}, \"table_bytes\": {}}}{sep}\n",
+            "    {{\"scheme\": \"{}\", \"graph\": \"{}\", \"n\": {}, \"band_rows\": {}, \"build_ms\": {:.3}, \"peak_bytes\": {}, \"bands_computed\": {}, \"table_bytes\": {},\n      \"measured_peak_bytes\": {}}}{sep}\n",
             r.scheme, r.graph, r.n, r.band_rows, r.build_ms, r.peak_bytes, r.bands_computed,
-            r.table_bytes,
+            r.table_bytes, r.measured_peak_bytes.unwrap_or(0),
         ));
     }
     json.push_str("  ]\n}\n");
@@ -314,9 +345,23 @@ mod tests {
             assert!(banded.bands_computed > 0, "{}: banded row first", banded.scheme);
             assert_eq!(full.bands_computed, 0, "{}: full row second", full.scheme);
             assert_eq!(banded.table_bytes, full.table_bytes, "{}", banded.scheme);
+            if ort_telemetry::alloc::installed() {
+                // The measured build region contains the distance cells
+                // the analytic claim models (plus graph and tables), so
+                // it can never fall below the claim.
+                let m = banded.measured_peak_bytes.expect("allocator installed");
+                assert!(
+                    m >= banded.peak_bytes as u64,
+                    "{}: measured {} < claimed {}",
+                    banded.scheme,
+                    m,
+                    banded.peak_bytes
+                );
+            }
         }
         let json = std::fs::read_to_string(&out).unwrap();
         assert!(json.contains("\"scheme\": \"full-table\""));
+        assert!(json.contains("\"measured_peak_bytes\""));
         assert!(!summary(&records, "x").is_empty());
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -4,11 +4,14 @@
 //! ort certify <n> <seed>                  check Lemmas 1-3 + compressibility
 //! ort build   <scheme> <n> <seed>         build a scheme, print size & stretch
 //! ort route   <scheme> <n> <seed> <s> <t> route one message, print the path
-//! ort profile <scheme> [--n N] [--seed S] instrumented run: spans + bit accounting
+//! ort profile <scheme> [--n N] [--seed S] [--mem]
+//!                                         instrumented run: spans + bit accounting,
+//!                                         --mem audits measured vs claimed memory
 //! ort bench [--out p] [--max-n N]         APSP engine snapshot (dense + sparse)
 //! ort bench-build [--out p] [--max-n N] [--schemes a,b]
 //!                                         scheme-construction snapshot (banded vs full)
-//! ort bench-gate [--record]               bit-drift + perf-regression gate
+//! ort bench-gate [--record] [--mem]       bit-drift + perf-regression gate
+//!                                         (--mem adds the allocator-audit probes)
 //! ort conformance [out.json]              run the full conformance suite
 //! ort resilience  [--verbose] [out.json]  fault-intensity sweep over all schemes
 //! ort churn [--out p] [--max-n N]         continuous-churn repair sweep
@@ -48,11 +51,11 @@ fn usage() -> ExitCode {
     eprintln!("  ort certify <n> <seed>");
     eprintln!("  ort build   <scheme> <n> <seed>");
     eprintln!("  ort route   <scheme> <n> <seed> <src> <dst>");
-    eprintln!("  ort profile <scheme> [--n N] [--seed S]  (default n=128 seed=1)");
+    eprintln!("  ort profile <scheme> [--n N] [--seed S] [--mem]  (default n=128 seed=1)");
     eprintln!("  ort bench   [--out p] [--max-n N]        (default results/BENCH_apsp.json)");
     eprintln!("  ort bench-build [--out p] [--max-n N] [--schemes a,b]");
     eprintln!("                                           (default results/BENCH_build.json)");
-    eprintln!("  ort bench-gate [--record] [--baseline p] [--bench p] [--build p] [--churn p]");
+    eprintln!("  ort bench-gate [--record] [--mem] [--baseline p] [--bench p] [--build p] [--churn p]");
     eprintln!("  ort save    <scheme> <n> <seed> <file>   (snapshot-capable schemes)");
     eprintln!("  ort load    <file> <src> <dst>");
     eprintln!("  ort conformance [out.json]               (default results/CONFORMANCE.json)");
@@ -180,7 +183,11 @@ fn run() -> Result<(), String> {
         }
         Some("profile") => {
             let name = args.get(1).ok_or("missing scheme")?.clone();
-            let (flags, positional) = parse_flags(&args[2..], &["n", "seed"])?;
+            // `--mem` is a bare flag; strip it before the `--flag value`
+            // parser sees the rest.
+            let mem = args[2..].iter().any(|a| a == "--mem");
+            let rest: Vec<String> = args[2..].iter().filter(|a| *a != "--mem").cloned().collect();
+            let (flags, positional) = parse_flags(&rest, &["n", "seed"])?;
             if !positional.is_empty() {
                 return Err(format!("unexpected argument '{}'", positional[0]));
             }
@@ -193,7 +200,11 @@ fn run() -> Result<(), String> {
                     _ => unreachable!("parse_flags filters"),
                 }
             }
-            let report = profile::run_profile(&name, n, seed)?;
+            let report = if mem {
+                profile::run_profile_mem(&name, n, seed)?
+            } else {
+                profile::run_profile(&name, n, seed)?
+            };
             print!("{}", report.text);
             Ok(())
         }
@@ -247,6 +258,7 @@ fn run() -> Result<(), String> {
         }
         Some("bench-gate") => {
             let mut record = false;
+            let mut mem = false;
             let mut baseline = gate::DEFAULT_BASELINE.to_string();
             let mut bench = Some(gate::DEFAULT_BENCH.to_string());
             let mut build = Some(gate::DEFAULT_BUILD_BENCH.to_string());
@@ -255,6 +267,7 @@ fn run() -> Result<(), String> {
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--record" => record = true,
+                    "--mem" => mem = true,
                     "--baseline" => {
                         baseline = it.next().ok_or("--baseline needs a path")?.clone();
                     }
@@ -278,8 +291,13 @@ fn run() -> Result<(), String> {
                 println!("wrote {baseline}");
                 return Ok(());
             }
-            let report =
-                gate::check_all(&baseline, bench.as_deref(), build.as_deref(), churn.as_deref())?;
+            let report = gate::check_all(
+                &baseline,
+                bench.as_deref(),
+                build.as_deref(),
+                churn.as_deref(),
+                mem,
+            )?;
             for line in &report.lines {
                 println!("{line}");
             }

@@ -48,6 +48,19 @@ pub const REPAIR_SPEEDUP_FLOOR: f64 = 5.0;
 /// Graph size for the fresh repair-vs-rebuild measurement.
 pub const CHURN_GATE_N: usize = 4096;
 
+/// Graph size for the fresh banded-oracle memory probe (`--mem`).
+pub const MEM_BANDED_N: usize = 4096;
+/// Graph size for the fresh compact-width APSP memory probe (`--mem`).
+pub const MEM_APSP_N: usize = 1024;
+/// Multiplicative headroom a measured region peak may sit above its
+/// analytic claim before the memory gate calls it unaccounted
+/// allocation. The claims are guaranteed lower bounds, so anything the
+/// model omits (allocator rounding, per-tile transients) must fit here.
+pub const MEM_SLACK: f64 = 1.25;
+/// Absolute headroom added on top of [`MEM_SLACK`]: size-independent
+/// transients such as hist registration and span bookkeeping.
+pub const MEM_ABS_SLACK: u64 = 256 * 1024;
+
 /// Measurement plan: sizes, graph seed, timing repetitions, and the
 /// relative timing tolerance stored into (and read back from) the
 /// baseline document.
@@ -161,10 +174,188 @@ pub fn measure(cfg: &GateConfig) -> Result<Vec<Measurement>, String> {
     Ok(out)
 }
 
-/// Renders measurements as the baseline document.
+/// The `--mem` probes: deterministic single-threaded measurements from
+/// the instrumented allocator, comparable across hosts because the
+/// accounting is in requested bytes and the allocation pattern of a
+/// serial run is a pure function of the graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemProbes {
+    /// Analytic [`BandedOracle::peak_bytes`] claim at [`MEM_BANDED_N`].
+    pub banded_claimed: u64,
+    /// Measured region peak of one full banded sweep at [`MEM_BANDED_N`].
+    pub banded_measured: u64,
+    /// Measured region peak of one serial compact-width APSP at
+    /// [`MEM_APSP_N`].
+    pub apsp_measured: u64,
+    /// The historical `u32` full-matrix footprint at [`MEM_APSP_N`] the
+    /// compact store is held against.
+    pub apsp_u32_full: u64,
+}
+
+/// Runs the fresh memory probes, or `None` when the instrumented
+/// allocator is compiled out (`--no-default-features`).
 #[must_use]
-pub fn to_json(cfg: &GateConfig, measurements: &[Measurement]) -> Json {
-    Json::obj(vec![
+pub fn measure_mem() -> Option<MemProbes> {
+    use ort_graphs::oracle::{BandedOracle, Distances};
+    if !ort_telemetry::alloc::installed() {
+        return None;
+    }
+    let _span = ort_telemetry::span("gate.mem");
+
+    // Probe 1: the streaming oracle's one-band contract, measured. The
+    // oracle (and its graph clone) is built outside the region so the
+    // region peak is exactly what `peak_bytes` models: one band of
+    // compact cells plus the tiled engine's scratch.
+    let g = generators::power_law_seeded(
+        MEM_BANDED_N,
+        crate::bench::SPARSE_M,
+        crate::bench::SPARSE_GAMMA,
+        crate::bench::BENCH_SEED,
+    );
+    let band_rows = ApspEngine::tile_sources(MEM_BANDED_N);
+    let banded = BandedOracle::with_engine(g.clone(), band_rows, ApspEngine::Tiled);
+    let banded_claimed = banded.peak_bytes() as u64;
+    let region = ort_telemetry::alloc::mem_span("gate.mem.banded");
+    let mut u = 0;
+    while u < MEM_BANDED_N {
+        std::hint::black_box(banded.distance(u, 0));
+        u += band_rows;
+    }
+    let banded_measured = region.finish().region_peak_bytes;
+    drop(banded);
+    drop(g);
+
+    // Probe 2: the compact-width APSP store, measured against the
+    // historical u32 full matrix — the u8-vs-u32 width win must survive
+    // in allocator-observed bytes, not only in the analytic model.
+    let g = generators::power_law_seeded(
+        MEM_APSP_N,
+        crate::bench::SPARSE_M,
+        crate::bench::SPARSE_GAMMA,
+        crate::bench::BENCH_SEED,
+    );
+    let region = ort_telemetry::alloc::mem_span("gate.mem.apsp");
+    let apsp = Apsp::compute_serial_with_engine(&g, ApspEngine::Tiled);
+    let apsp_measured = region.finish().region_peak_bytes;
+    drop(apsp);
+
+    Some(MemProbes {
+        banded_claimed,
+        banded_measured,
+        apsp_measured,
+        apsp_u32_full: (MEM_APSP_N * MEM_APSP_N * 4) as u64,
+    })
+}
+
+/// The memory gate (`ort bench-gate --mem`): three checks against the
+/// fresh [`measure_mem`] probes.
+///
+/// 1. **One-band contract, measured.** The banded oracle's analytic
+///    `peak_bytes` must be a true lower bound on the measured sweep peak
+///    (`claimed ≤ measured`), and the measured peak must not exceed the
+///    claim beyond [`MEM_SLACK`]`×` plus [`MEM_ABS_SLACK`] — either
+///    direction failing means the analytic model and the allocator
+///    disagree about what streaming costs.
+/// 2. **Width ratio.** The measured compact-width APSP peak must stay at
+///    least 2× below the historical `u32` full matrix.
+/// 3. **No regression.** Both measured peaks are compared against the
+///    `mem` section recorded in the baseline document; growth beyond the
+///    baseline tolerance fails the gate.
+///
+/// Overshoot freezes the flight recorder
+/// ([`ort_telemetry::recorder::anomaly`]) so the postmortem JSONL sink,
+/// when attached, captures the run that broke the contract.
+fn check_mem(doc: &Json, tolerance: f64, report: &mut GateReport) {
+    let Some(p) = measure_mem() else {
+        report
+            .lines
+            .push("mem: allocator instrumentation compiled out; memory gate skipped".into());
+        return;
+    };
+
+    let cap = (p.banded_claimed as f64 * MEM_SLACK) as u64 + MEM_ABS_SLACK;
+    report.lines.push(format!(
+        "mem: banded n={MEM_BANDED_N} claimed {} B, measured {} B ({:.2}x, cap {} B)",
+        p.banded_claimed,
+        p.banded_measured,
+        p.banded_measured as f64 / p.banded_claimed.max(1) as f64,
+        cap
+    ));
+    if p.banded_measured < p.banded_claimed {
+        report.failures.push(format!(
+            "mem: banded n={MEM_BANDED_N} measured peak {} B under the analytic claim {} B — \
+             peak_bytes overstates what the sweep allocates",
+            p.banded_measured, p.banded_claimed
+        ));
+    } else if p.banded_measured > cap {
+        ort_telemetry::recorder::anomaly("mem_gate_overshoot", p.banded_measured, cap);
+        report.failures.push(format!(
+            "mem: banded n={MEM_BANDED_N} measured peak {} B exceeds the analytic claim {} B \
+             beyond slack (cap {} B) — the one-band streaming contract broke in measured bytes",
+            p.banded_measured, p.banded_claimed, cap
+        ));
+    }
+
+    if p.apsp_measured * 2 > p.apsp_u32_full {
+        ort_telemetry::recorder::anomaly("mem_gate_overshoot", p.apsp_measured, p.apsp_u32_full / 2);
+        report.failures.push(format!(
+            "mem: apsp n={MEM_APSP_N} measured peak {} B not 2x below the u32 full matrix \
+             ({} B) — the compact-width memory win no longer shows up in measured bytes",
+            p.apsp_measured, p.apsp_u32_full
+        ));
+    } else {
+        report.lines.push(format!(
+            "mem: apsp n={MEM_APSP_N} measured peak {} B holds {:.1}x below the u32 matrix",
+            p.apsp_measured,
+            p.apsp_u32_full as f64 / p.apsp_measured.max(1) as f64
+        ));
+    }
+
+    let Some(mem) = doc.get("mem") else {
+        report.failures.push(
+            "mem: baseline has no 'mem' section — re-record with an instrumented build \
+             (`ort bench-gate --record`)"
+                .into(),
+        );
+        return;
+    };
+    for (key, fresh) in [("banded", p.banded_measured), ("apsp", p.apsp_measured)] {
+        let base = mem
+            .get(key)
+            .and_then(|s| s.get("measured_peak_bytes"))
+            .and_then(Json::as_i64)
+            .and_then(|i| u64::try_from(i).ok());
+        let Some(base) = base else {
+            report.failures.push(format!(
+                "mem: baseline 'mem.{key}' is missing 'measured_peak_bytes' — re-record"
+            ));
+            continue;
+        };
+        let allowed = (base as f64 * (1.0 + tolerance)) as u64;
+        if fresh > allowed {
+            ort_telemetry::recorder::anomaly("mem_gate_overshoot", fresh, allowed);
+            report.failures.push(format!(
+                "mem: {key} measured peak regressed {:.0}% over the recorded baseline \
+                 ({base} B -> {fresh} B, tolerance {:.0}%)",
+                (fresh as f64 / base as f64 - 1.0) * 100.0,
+                tolerance * 100.0
+            ));
+        } else {
+            report.lines.push(format!(
+                "mem: {key} measured peak {fresh} B within baseline {base} B (+{:.0}% allowed)",
+                tolerance * 100.0
+            ));
+        }
+    }
+}
+
+/// Renders measurements as the baseline document. The `mem` section is
+/// present only when the recording build carried the instrumented
+/// allocator; its measured values sit on their own pretty-printed lines
+/// so `manifest::mask_volatile` strips them from byte-identity diffs.
+#[must_use]
+pub fn to_json(cfg: &GateConfig, measurements: &[Measurement], mem: Option<&MemProbes>) -> Json {
+    let mut fields = vec![
         ("suite", Json::Str("telemetry-baseline".into())),
         ("graph", Json::Str("gnp_half(n, seed)".into())),
         ("unit", Json::Str("bits exact; ms median wall clock".into())),
@@ -200,7 +391,31 @@ pub fn to_json(cfg: &GateConfig, measurements: &[Measurement]) -> Json {
                     .collect(),
             ),
         ),
-    ])
+    ];
+    if let Some(p) = mem {
+        fields.push((
+            "mem",
+            Json::obj(vec![
+                (
+                    "banded",
+                    Json::obj(vec![
+                        ("n", Json::Int(MEM_BANDED_N as i64)),
+                        ("claimed_peak_bytes", Json::Int(p.banded_claimed as i64)),
+                        ("measured_peak_bytes", Json::Int(p.banded_measured as i64)),
+                    ]),
+                ),
+                (
+                    "apsp",
+                    Json::obj(vec![
+                        ("n", Json::Int(MEM_APSP_N as i64)),
+                        ("u32_full_bytes", Json::Int(p.apsp_u32_full as i64)),
+                        ("measured_peak_bytes", Json::Int(p.apsp_measured as i64)),
+                    ]),
+                ),
+            ]),
+        ));
+    }
+    Json::obj(fields)
 }
 
 /// Measures per the config and writes the baseline to `path`.
@@ -210,7 +425,8 @@ pub fn to_json(cfg: &GateConfig, measurements: &[Measurement]) -> Json {
 /// Returns a message if measurement or the write fails.
 pub fn record(cfg: &GateConfig, path: &str) -> Result<(), String> {
     let measurements = measure(cfg)?;
-    let payload = to_json(cfg, &measurements);
+    let mem = measure_mem();
+    let payload = to_json(cfg, &measurements, mem.as_ref());
     let sizes = cfg.sizes.iter().map(ToString::to_string).collect::<Vec<_>>().join(",");
     crate::manifest::write_stamped(
         path,
@@ -788,12 +1004,13 @@ fn check_churn(doc: &Json, report: &mut GateReport) {
 /// measurement fails outright; comparison failures are reported in the
 /// returned [`GateReport`] instead.
 pub fn check(baseline_path: &str, bench_path: Option<&str>) -> Result<GateReport, String> {
-    check_all(baseline_path, bench_path, None, None)
+    check_all(baseline_path, bench_path, None, None, false)
 }
 
 /// As [`check`], additionally checking the scheme-construction snapshot
 /// (`results/BENCH_build.json`) and the churn report
-/// (`results/CHURN.json`) when given — the `ort bench-gate` entry
+/// (`results/CHURN.json`) when given, and the memory gate
+/// ([`check_mem`]) when `mem` is set — the `ort bench-gate` entry
 /// point.
 ///
 /// # Errors
@@ -804,6 +1021,7 @@ pub fn check_all(
     bench_path: Option<&str>,
     build_path: Option<&str>,
     churn_path: Option<&str>,
+    mem: bool,
 ) -> Result<GateReport, String> {
     let _span = ort_telemetry::span("gate.check");
     let text = std::fs::read_to_string(baseline_path)
@@ -840,6 +1058,9 @@ pub fn check_all(
             std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         let churn = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
         check_churn(&churn, &mut report);
+    }
+    if mem {
+        check_mem(&doc, cfg.tolerance, &mut report);
     }
     Ok(report)
 }
@@ -913,7 +1134,13 @@ mod tests {
     fn baseline_document_round_trips() {
         let cfg = GateConfig { sizes: vec![16], seed: 3, reps: 2, tolerance: 0.5 };
         let ms = vec![meas("theorem1", 16, 512, 1.25)];
-        let doc = to_json(&cfg, &ms);
+        let probes = MemProbes {
+            banded_claimed: 1000,
+            banded_measured: 1100,
+            apsp_measured: 2000,
+            apsp_u32_full: 4096,
+        };
+        let doc = to_json(&cfg, &ms, Some(&probes));
         let (cfg2, ms2) = parse_baseline(&Json::parse(&doc.pretty()).unwrap()).unwrap();
         assert_eq!(cfg2.sizes, cfg.sizes);
         assert_eq!(cfg2.seed, cfg.seed);
@@ -924,5 +1151,47 @@ mod tests {
         assert_eq!(ms2[0].total_bits, ms[0].total_bits);
         assert!((ms2[0].build_ms_median - ms[0].build_ms_median).abs() < 1e-12);
         assert!(ms2[0].build_ms_min.is_nan(), "the floor is not persisted");
+        // The mem section survives the round trip and its measured lines
+        // are exactly what mask_volatile strips.
+        let parsed = Json::parse(&doc.pretty()).unwrap();
+        let banded = parsed.get("mem").and_then(|m| m.get("banded")).unwrap();
+        assert_eq!(banded.get("measured_peak_bytes").and_then(Json::as_i64), Some(1100));
+        let masked = crate::manifest::mask_volatile(&doc.pretty());
+        assert!(!masked.contains("measured_peak_bytes"));
+        assert!(masked.contains("claimed_peak_bytes"));
+    }
+
+    #[test]
+    fn mem_gate_flags_an_injected_regression() {
+        // Upper-bound (cap) behaviour is exercised end-to-end by the
+        // spawned-binary test in tests/observability.rs, where no
+        // parallel test can inflate the shared watermark; here only the
+        // pollution-proof directions are asserted.
+        let Some(p) = measure_mem() else {
+            return; // allocator compiled out: nothing to audit
+        };
+        // The analytic claim is a guaranteed lower bound on the measured
+        // sweep peak — concurrent tests can only push measured higher.
+        assert!(
+            p.banded_measured >= p.banded_claimed,
+            "claim {} above measured {}",
+            p.banded_claimed,
+            p.banded_measured
+        );
+
+        // A halved baseline (the injected 2x regression) must fail: the
+        // fresh measurement sits at least at the analytic claim, well
+        // above half of any previous truthful measurement plus tolerance.
+        let cfg = GateConfig::default();
+        let halved = MemProbes {
+            banded_measured: p.banded_measured / 2,
+            apsp_measured: p.apsp_measured / 2,
+            ..p.clone()
+        };
+        let doc = to_json(&cfg, &[], Some(&halved));
+        let mut report = GateReport::default();
+        check_mem(&Json::parse(&doc.pretty()).unwrap(), cfg.tolerance, &mut report);
+        assert!(!report.pass());
+        assert!(report.failures.iter().any(|f| f.contains("regressed")));
     }
 }

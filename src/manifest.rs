@@ -37,6 +37,20 @@ pub const SCHEMA_VERSION: i64 = 1;
 /// these keys; everything else must match exactly.
 pub const VOLATILE_KEYS: [&str; 4] = ["threads", "features", "telemetry", "build"];
 
+/// Volatile *payload* keys: fields that subcommands emit inside the
+/// payload (not the manifest) yet legitimately vary with the machine or
+/// the compiled feature set — `host_cores` (machine parallelism, bench
+/// headers) and `measured_peak_bytes` (allocator-measured peaks; exact
+/// requested bytes depend on the allocation pattern of the build, and
+/// absent entirely with instrumentation compiled out). Each is kept on
+/// its own pretty-printed line by its writer so [`mask_volatile`] can
+/// drop it without touching any exact field (masked text is only ever
+/// diffed against other masked text, never parsed). The payload
+/// digest is computed over the *raw* payload (measured values included),
+/// so a file is always self-consistent; only cross-environment diffs
+/// apply the mask.
+pub const VOLATILE_PAYLOAD_KEYS: [&str; 2] = ["host_cores", "measured_peak_bytes"];
+
 /// Drops every line carrying a volatile manifest key — the line filter
 /// CI and the sink byte-identity test apply to *both* sides before
 /// diffing results files.
@@ -44,7 +58,10 @@ pub const VOLATILE_KEYS: [&str; 4] = ["threads", "features", "telemetry", "build
 pub fn mask_volatile(text: &str) -> String {
     text.lines()
         .filter(|line| {
-            !VOLATILE_KEYS.iter().any(|k| line.contains(&format!("\"{k}\":")))
+            !VOLATILE_KEYS
+                .iter()
+                .chain(VOLATILE_PAYLOAD_KEYS.iter())
+                .any(|k| line.contains(&format!("\"{k}\":")))
         })
         .map(|line| format!("{line}\n"))
         .collect()
@@ -80,6 +97,9 @@ pub fn feature_set() -> String {
     if cfg!(feature = "telemetry") {
         fs.push("telemetry");
     }
+    if cfg!(feature = "alloc-telemetry") {
+        fs.push("alloc-telemetry");
+    }
     if fs.is_empty() {
         "none".to_string()
     } else {
@@ -92,10 +112,11 @@ pub fn feature_set() -> String {
 #[must_use]
 pub fn build_info() -> String {
     format!(
-        "ort {} (features: {}; telemetry: {})",
+        "ort {} (features: {}; telemetry: {}; alloc-instrumentation: {})",
         env!("CARGO_PKG_VERSION"),
         feature_set(),
-        if ort_telemetry::enabled() { "on" } else { "off" }
+        if ort_telemetry::enabled() { "on" } else { "off" },
+        if ort_telemetry::alloc::installed() { "on" } else { "off" }
     )
 }
 
@@ -315,5 +336,27 @@ mod tests {
         assert!(s.starts_with("ort "), "{s}");
         assert!(s.contains("features:"), "{s}");
         assert_eq!(s.contains("telemetry: on"), ort_telemetry::enabled());
+        assert_eq!(
+            s.contains("alloc-instrumentation: on"),
+            ort_telemetry::alloc::installed(),
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn masking_strips_volatile_payload_lines_and_nothing_else() {
+        // A two-line bench-style record: the measured field sits on its
+        // own continuation line, exactly as the bench writers emit it, so
+        // masking removes just that line.
+        let text = "{\n  \"results\": [\n    { \"n\": 64, \"peak_bytes\": 4096,\n      \"measured_peak_bytes\": 5000 },\n    { \"n\": 128, \"peak_bytes\": 8192 }\n  ],\n  \"host_cores\": 8\n}\n";
+        let masked = mask_volatile(text);
+        for k in VOLATILE_PAYLOAD_KEYS {
+            assert!(text.contains(&format!("\"{k}\":")), "{k} present before mask");
+            assert!(!masked.contains(&format!("\"{k}\":")), "{k} must be masked");
+        }
+        // The quote-prefixed match keeps the analytic field intact: the
+        // substring `peak_bytes` alone must not trigger the filter.
+        assert_eq!(masked.matches("\"peak_bytes\":").count(), 2, "{masked}");
+        assert!(masked.contains("\"results\":"), "{masked}");
     }
 }

@@ -185,6 +185,73 @@ fn bench_gate_failure_writes_a_postmortem() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Halves every `"measured_peak_bytes"` value in `text` — the baseline
+/// now claims the recorded run used half the memory a fresh probe
+/// measures, i.e. a 2× memory regression from the gate's viewpoint.
+fn halve_measured(text: &str) -> String {
+    let key = "\"measured_peak_bytes\": ";
+    let mut out = String::with_capacity(text.len());
+    let mut rest = text;
+    while let Some(at) = rest.find(key) {
+        let val_at = at + key.len();
+        out.push_str(&rest[..val_at]);
+        let end = val_at
+            + rest[val_at..].find(|c: char| !c.is_ascii_digit()).expect("number then delimiter");
+        let v: u64 = rest[val_at..end].parse().expect("integer measured value");
+        out.push_str(&(v / 2).to_string());
+        rest = &rest[end..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// The memory gate end to end, in a separate process so the in-process
+/// tests cannot inflate its watermark: `bench-gate --record` writes a
+/// baseline whose `mem` section carries the measured probes; `bench-gate
+/// --mem` passes against that truthful baseline (covering the one-band
+/// cap and width-ratio upper bounds); and with the recorded
+/// `measured_peak_bytes` halved — an injected 2× memory regression — the
+/// gate fails non-zero and writes a post-mortem through the sink.
+#[test]
+fn mem_gate_flags_a_doubled_memory_footprint() {
+    let _serial = serial();
+    if !optimal_routing_tables::telemetry::alloc::installed() {
+        return;
+    }
+    let dir = scratch("memgate");
+    let baseline = dir.join("baseline.json");
+    let cfg = GateConfig { sizes: vec![32], seed: 1, reps: 1, tolerance: 0.25 };
+    gate::record(&cfg, baseline.to_str().unwrap()).expect("record tiny baseline with probes");
+    let text = std::fs::read_to_string(&baseline).expect("read baseline");
+    assert!(text.contains("\"mem\""), "recorded baseline must carry the mem section");
+
+    let run = |base: &Path, postmortem: &Path| {
+        std::process::Command::new(env!("CARGO_BIN_EXE_ort"))
+            .args(["bench-gate", "--mem", "--baseline", base.to_str().unwrap()])
+            .args(["--bench", "none", "--build", "none", "--churn", "none"])
+            .env("ORT_TELEMETRY", format!("postmortem:{}", postmortem.display()))
+            .env("ORT_THREADS", "1")
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .status()
+            .expect("spawn ort bench-gate --mem")
+    };
+
+    assert!(
+        run(&baseline, &dir.join("unused.jsonl")).success(),
+        "a truthful baseline must pass the memory gate"
+    );
+
+    let halved = dir.join("halved.json");
+    std::fs::write(&halved, halve_measured(&text)).expect("write halved baseline");
+    let postmortem = dir.join("postmortem.jsonl");
+    assert!(!run(&halved, &postmortem).success(), "a 2x memory regression must fail the gate");
+    let dump = std::fs::read_to_string(&postmortem).expect("post-mortem sink file must exist");
+    assert!(dump.contains("\"trigger\":\"bench_gate_failure\""), "{dump}");
+    assert!(dump.contains("mem_regressed") || dump.contains("bench_gate_failure"), "{dump}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Copies the checked-in results corpus (every `*.json` except the
 /// report itself, plus the run history) into `dir`.
 fn copy_results(dir: &Path) {

@@ -62,6 +62,40 @@ fn every_manifest_digest_matches_its_payload() {
     }
 }
 
+/// Volatile provenance: every machine- or feature-dependent payload
+/// field — `host_cores`, and the allocator-measured `measured_peak_bytes`
+/// lines the bench and gate docs carry — vanishes under
+/// [`manifest::mask_volatile`], while the *analytic* figures
+/// (`peak_bytes`, `claimed_peak_bytes`, `u32_full_bytes`) survive it.
+/// This is exactly what keeps checked-in results byte-identical across
+/// machines and across builds with instrumentation on or off.
+#[test]
+fn measured_memory_is_masked_but_analytic_claims_are_not() {
+    let mut saw_measured = false;
+    for path in result_files() {
+        let name = path.file_name().unwrap().to_str().unwrap();
+        let text = std::fs::read_to_string(&path).expect("read result file");
+        let masked = manifest::mask_volatile(&text);
+        assert!(!masked.contains("\"host_cores\":"), "{name}: host_cores survived masking");
+        assert!(
+            !masked.contains("\"measured_peak_bytes\":"),
+            "{name}: a measured (machine-dependent) figure survived masking"
+        );
+        if text.contains("\"measured_peak_bytes\":") {
+            saw_measured = true;
+            assert!(
+                text.contains("\"peak_bytes\":") || text.contains("\"claimed_peak_bytes\":"),
+                "{name}: measured figures must ride next to the analytic claim they audit"
+            );
+            assert!(
+                masked.contains("\"peak_bytes\":") || masked.contains("\"claimed_peak_bytes\":"),
+                "{name}: masking must not strip the analytic peak_bytes claims"
+            );
+        }
+    }
+    assert!(saw_measured, "the corpus must carry at least one measured_peak_bytes audit line");
+}
+
 /// The history ledger ends in the truth: for every stamped results file
 /// (the report excepted — it intentionally skips the ledger), the *last*
 /// `HISTORY.jsonl` line for that file carries its current digest.
